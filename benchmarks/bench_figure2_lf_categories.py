@@ -1,0 +1,36 @@
+"""Figure 2 benchmark: labeling-function category census.
+
+Regenerates the Figure 2 category distribution across the three
+applications and times the census computation plus LF-suite
+construction for the events application (140 generated weak sources).
+"""
+
+from repro.experiments import figure2
+from repro.experiments.harness import get_events_experiment
+from repro.applications.events import build_event_lfs
+from repro.lf.registry import LFCategory
+
+from benchmarks.conftest import emit
+
+
+def test_figure2_census(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure2.run(scale=scale), rounds=1, iterations=1
+    )
+    emit(result)
+    by_app: dict[str, int] = {}
+    for row in result.rows:
+        by_app[row["application"]] = by_app.get(row["application"], 0) + row["count"]
+    assert by_app["topic_classification"] == 10      # Table 1
+    assert by_app["product_classification"] == 8     # Table 1
+    assert by_app["realtime_events"] == 140          # Section 3.3
+
+
+def test_events_lf_suite_construction(benchmark, scale):
+    exp = get_events_experiment(scale)
+
+    lfs, registry = benchmark(build_event_lfs, exp.dataset.world)
+    assert len(lfs) == 140
+    counts = registry.category_counts()
+    # Graph-based sources exist and are a minority (Section 3.3).
+    assert 0 < counts[LFCategory.GRAPH_BASED] < counts[LFCategory.OTHER_HEURISTIC]

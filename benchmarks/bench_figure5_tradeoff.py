@@ -1,0 +1,40 @@
+"""Figure 5 benchmark: the hand-labeled-data trade-off sweep.
+
+Regenerates both Figure 5 panels (supervised learning curves vs the
+DryBell line) and times one supervised point of the sweep.
+
+Shape assertions (paper): the supervised curve rises with more hand
+labels, and the weakly supervised classifier is worth a substantial
+number of hand labels (a crossover exists inside the swept range, or the
+curve stays below DryBell throughout).
+"""
+
+import numpy as np
+
+from repro.experiments import figure5
+from repro.experiments.harness import get_content_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_figure5_sweep(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure5.run(scale=scale), rounds=1, iterations=1
+    )
+    emit(result)
+    for row in result.rows:
+        f1s = [f1 for _, f1 in row["points"]]
+        # Rising trend: the best late point beats the first point.
+        assert max(f1s[-2:]) > f1s[0], row
+        # DryBell is worth a nontrivial number of hand labels: the
+        # smallest hand-label budget does not already match it.
+        assert f1s[0] < row["drybell_relative_f1"], row
+
+
+def test_one_supervised_point_cost(benchmark, scale):
+    exp = get_content_experiment("topic", scale)
+    n = max(200, len(exp.dataset.unlabeled) // 50)
+    metrics = benchmark.pedantic(
+        lambda: exp.hand_label_metrics(n), rounds=1, iterations=1
+    )
+    assert 0.0 <= metrics.f1 <= 1.0

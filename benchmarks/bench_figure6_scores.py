@@ -1,0 +1,37 @@
+"""Figure 6 benchmark: events-DNN score distributions.
+
+Regenerates the two score histograms (Logical-OR-trained vs
+DryBell-trained DNN) and times histogram computation.
+
+Shape assertions (paper): the Logical-OR model over-estimates scores —
+its mean score and high-score mass exceed the DryBell model's.
+"""
+
+import numpy as np
+
+from repro.discriminative.metrics import score_histogram
+from repro.experiments import figure6
+from repro.experiments.harness import get_events_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_figure6_score_distributions(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure6.run(scale=scale), rounds=1, iterations=1
+    )
+    emit(result)
+    stats = result.rows[0]
+    assert stats["logical_or"]["mean_score"] > stats["drybell"]["mean_score"]
+    assert (
+        stats["logical_or"]["mass_above_0.7"]
+        >= stats["drybell"]["mass_above_0.7"]
+    )
+
+
+def test_histogram_computation_speed(benchmark, scale):
+    exp = get_events_experiment(scale)
+    scores = exp.scores_drybell
+    counts, edges = benchmark(score_histogram, scores, 20)
+    assert counts.sum() == len(scores)
+    assert len(edges) == 21

@@ -1,0 +1,60 @@
+"""Section 5.2 benchmark: sampling-free optimizer vs Gibbs sampler.
+
+This is the paper's speed claim measured directly on this
+implementation: ">100 steps per second with a batch size of 64" for the
+compute-graph trainer versus "<50 examples per second" for the Gibbs
+sampler, a ≈2x speedup at ten labeling functions.
+
+Assertions: the sampling-free trainer exceeds 100 steps/s, and its
+example throughput beats the Gibbs sampler by at least 2x (ours is far
+larger because the Gibbs inner loop is pure Python — recorded as such
+in EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from repro.core.gibbs import GibbsConfig, GibbsLabelModel
+from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.experiments import perf
+from repro.experiments.harness import get_content_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_section52_speed_comparison(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: perf.run_speed(scale=scale), rounds=1, iterations=1
+    )
+    emit(result)
+    row = result.rows[0]
+    assert row["steps_per_second"] > 100.0, row      # paper: >100 steps/s
+    assert row["speedup"] >= 2.0, row                # paper: ~2x
+
+
+def test_sampling_free_step(benchmark, scale):
+    """Microbenchmark: one exact-gradient step at batch 64, 8-10 LFs."""
+    exp = get_content_experiment("product", scale)
+    L = exp.L_unlabeled.matrix.astype(np.float64)
+    model = SamplingFreeLabelModel(LabelModelConfig(batch_size=64))
+    model.init_params(L.shape[1])
+    rng = np.random.default_rng(0)
+    batch = L[rng.integers(0, len(L), size=64)]
+
+    benchmark(model.partial_step, batch)
+
+
+def test_gibbs_batch(benchmark, scale):
+    """Microbenchmark: one Gibbs sweep + update at batch 64."""
+    exp = get_content_experiment("product", scale)
+    L = exp.L_unlabeled.matrix
+    model = GibbsLabelModel(GibbsConfig(batch_size=64))
+    model.alpha = np.full(L.shape[1], 0.7)
+    model.beta = np.zeros(L.shape[1])
+    rng = np.random.default_rng(0)
+    batch = L[rng.integers(0, len(L), size=64)]
+
+    def sweep_and_update():
+        y = model._gibbs_sweep(batch, rng)
+        model._complete_data_step(batch, y)
+
+    benchmark(sweep_and_update)

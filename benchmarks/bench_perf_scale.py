@@ -1,0 +1,42 @@
+"""Section 1 benchmark: end-to-end labeling throughput and the 6M-point
+sub-30-minute extrapolation.
+
+Runs the full DFS + MapReduce labeling path (staging, per-LF jobs, vote
+join) on a slice of the product pool, measures examples/second, and
+extrapolates how many simulated nodes would be needed to label 6.5M
+examples in under 30 minutes — the claim in Section 1 ("implementing
+weak supervision over 6M+ data points with sub-30min execution time").
+"""
+
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.experiments import perf
+from repro.experiments.harness import get_content_experiment
+from repro.lf.applier import LFApplier, stage_examples
+
+from benchmarks.conftest import emit
+
+
+def test_scale_extrapolation(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: perf.run_scale(scale=scale), rounds=1, iterations=1
+    )
+    emit(result)
+    row = result.rows[0]
+    assert row["examples_per_second"] > 0
+    assert row["nodes_for_30min_at_6_5m"] >= 1
+
+
+def test_mapreduce_labeling_throughput(benchmark, scale):
+    """Microbenchmark: one LF binary over 1000 staged examples."""
+    exp = get_content_experiment("product", scale)
+    examples = exp.dataset.unlabeled[:1000]
+    lf = exp.lfs[0]
+
+    def run_one():
+        dfs = DistributedFileSystem()
+        paths = stage_examples(dfs, examples, "/bench/examples", num_shards=4)
+        applier = LFApplier(dfs, paths, run_root="/bench/run", parallelism=2)
+        return applier.apply([lf])
+
+    report = benchmark.pedantic(run_one, rounds=3, iterations=1)
+    assert report.label_matrix.n_examples == 1000

@@ -1,0 +1,26 @@
+"""Table 1 benchmark: dataset generation for the content applications.
+
+Regenerates the Table 1 dataset-regime summary and times the synthetic
+corpus generator (the substitute for Google's production data collection
+pipelines).
+"""
+
+from repro.config import TINY_SCALE
+from repro.datasets.content import generate_topic_dataset
+from repro.experiments import table1
+
+from benchmarks.conftest import emit
+
+
+def test_table1_dataset_regimes(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: table1.run(scale=scale), rounds=1, iterations=1
+    )
+    emit(result)
+    tasks = {row["task"] for row in result.rows}
+    assert tasks == {"topic_classification", "product_classification"}
+
+
+def test_corpus_generator_throughput(benchmark):
+    dataset = benchmark(generate_topic_dataset, TINY_SCALE, 7)
+    assert len(dataset.unlabeled) == TINY_SCALE.topic_unlabeled

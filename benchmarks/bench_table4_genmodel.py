@@ -1,0 +1,38 @@
+"""Table 4 benchmark: generative-model weights vs equal weights.
+
+Regenerates Table 4 and times the equal-weight combination (the paper's
+baseline labeler: "the probabilistic training labels were an unweighted
+average of the labeling function votes").
+
+Shape assertions (paper): learned weights beat equal weights on both
+tasks, with a larger margin on topic than product (whose LF suite has
+less quality variance).
+"""
+
+import numpy as np
+
+from repro.core.combiners import equal_weight_probabilities
+from repro.experiments import table4
+from repro.experiments.harness import get_content_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_table4_weighting_ablation(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: table4.run(scale=scale), rounds=1, iterations=1
+    )
+    emit(result)
+    by_task = {row["task"]: row for row in result.rows}
+    for row in result.rows:
+        assert row["lift_pct"] > 0.0, row
+    # Topic's margin exceeds product's (paper: +7.7% vs +1.9%).
+    assert by_task["topic"]["lift_pct"] > by_task["product"]["lift_pct"]
+
+
+def test_equal_weight_combination_speed(benchmark, scale):
+    exp = get_content_experiment("topic", scale)
+    L = exp.L_unlabeled.matrix
+    probs = benchmark(equal_weight_probabilities, L)
+    assert probs.shape == (L.shape[0],)
+    assert np.all((probs >= 0) & (probs <= 1))

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The Section 3.3 / 6.4 real-time events case study.
+
+140 weak sources defined over *non-servable* offline features (aggregate
+statistics, relationship graphs, pre-existing models) train a DNN over
+*servable* real-time signals — the cross-feature transfer that closes
+the detection-latency gap. Compares Snorkel DryBell's probabilistic
+labels against the incumbent Logical-OR combination, reproducing the
+events-identified and quality gains plus the Figure 6 score histograms.
+
+Run:  python examples/realtime_events.py           (tiny scale, ~1 min)
+"""
+
+import os
+
+import numpy as np
+
+from repro.applications.events import build_event_lfs, event_featurizer
+from repro.config import get_scale
+from repro.core.combiners import logical_or_probabilities
+from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.datasets.events import generate_events_dataset
+from repro.discriminative.dnn import MLPConfig, NoiseAwareMLP
+from repro.discriminative.metrics import average_precision, score_histogram
+from repro.lf.applier import apply_lfs_in_memory
+
+
+def main():
+    scale = get_scale(os.environ.get("REPRO_SCALE", "tiny"))
+    dataset = generate_events_dataset(scale, seed=1)
+    print(f"dataset: {dataset.stats()}")
+
+    lfs, registry = build_event_lfs(dataset.world)
+    print(f"\nweak sources: {len(lfs)} "
+          f"(mix: { {c.value: n for c, n in registry.category_counts().items()} })")
+
+    matrix = apply_lfs_in_memory(lfs, dataset.unlabeled)
+    print(f"label matrix: {matrix.shape}, "
+          f"coverage {100 * np.mean(np.abs(matrix.matrix).sum(axis=1) > 0):.1f}% "
+          f"(fresh sources are invisible to every offline signal)")
+
+    # Class prior from a small calibration slice (Section 2: the prior
+    # "can also be learned").
+    prior = float(np.clip((dataset.test_gold[:200] == 1).mean(), 0.01, 0.5))
+    label_model = SamplingFreeLabelModel(
+        LabelModelConfig(init_class_prior=prior)
+    ).fit(matrix.matrix)
+    soft = label_model.predict_proba(matrix.matrix)
+
+    # Train the same DNN architecture on both label sets (Section 6.4).
+    featurizer = event_featurizer()
+    X = featurizer.transform(dataset.unlabeled)
+    X_test = featurizer.transform(dataset.test)
+    y_test = dataset.test_gold
+
+    config = MLPConfig(hidden_sizes=(64, 32), n_epochs=40, seed=0)
+    dnn_drybell = NoiseAwareMLP(featurizer.spec.dimension, config).fit(X, soft)
+    dnn_or = NoiseAwareMLP(featurizer.spec.dimension, config).fit(
+        X, logical_or_probabilities(matrix.matrix)
+    )
+
+    s_db = dnn_drybell.predict_proba(X_test)
+    s_or = dnn_or.predict_proba(X_test)
+
+    budget = max(1, len(y_test) // 10)
+    def identified(scores):
+        top = np.argsort(-scores)[:budget]
+        return int((y_test[top] == 1).sum())
+
+    found_db, found_or = identified(s_db), identified(s_or)
+    ap_db, ap_or = average_precision(y_test, s_db), average_precision(y_test, s_or)
+    print(f"\nreview budget: top {budget} events")
+    print(f"events identified — DryBell: {found_db}, Logical-OR: {found_or} "
+          f"({100 * (found_db / max(found_or, 1) - 1):+.0f}%; paper: +58%)")
+    print(f"quality (avg precision) — DryBell: {ap_db:.3f}, "
+          f"Logical-OR: {ap_or:.3f} "
+          f"({100 * (ap_db / max(ap_or, 1e-9) - 1):+.1f}%; paper: +4.5%)")
+
+    print("\nFigure 6 — score histograms (# = 2% of events):")
+    for name, scores in (("Logical-OR", s_or), ("Snorkel DryBell", s_db)):
+        counts, edges = score_histogram(scores, bins=10)
+        print(f"  {name} (mean score {scores.mean():.3f}):")
+        for i, count in enumerate(counts):
+            bar = "#" * int(round(50 * count / max(counts.sum(), 1)))
+            print(f"    [{edges[i]:.1f},{edges[i+1]:.1f}) {bar}")
+
+
+if __name__ == "__main__":
+    main()

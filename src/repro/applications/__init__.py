@@ -1,0 +1,28 @@
+"""The paper's three case-study applications (Section 3).
+
+Each module wires a dataset world to a concrete labeling-function suite
+with the paper's inventory:
+
+* :mod:`repro.applications.topic` — topic classification, 10 LFs
+  (URL-based, NER-tagger-based, topic-model-based, ...);
+* :mod:`repro.applications.product` — product classification, 8 LFs
+  (keyword-based, Knowledge-Graph-translation-based, topic-model-based);
+* :mod:`repro.applications.events` — real-time events, 140 weak sources
+  (model-based, graph-based, other heuristics).
+
+Each module exposes ``build_lfs(...) -> (lfs, registry)`` plus the
+featurizer used by its deployment model.
+"""
+
+from repro.applications.topic import build_topic_lfs, topic_featurizer
+from repro.applications.product import build_product_lfs, product_featurizer
+from repro.applications.events import build_event_lfs, event_featurizer
+
+__all__ = [
+    "build_topic_lfs",
+    "topic_featurizer",
+    "build_product_lfs",
+    "product_featurizer",
+    "build_event_lfs",
+    "event_featurizer",
+]

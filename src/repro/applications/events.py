@@ -1,0 +1,230 @@
+"""Real-time events: the Section 3.3 weak-source suite (n = 140).
+
+"we used Snorkel DryBell to train models over the event-level features
+using weak supervision sources (n=140) defined over the non-servable
+features, spanning three broad categories": model-based (pre-existing
+smaller models), graph-based (entity/destination relationship graphs —
+"higher recall but generally lower-precision"), and other heuristics
+(a large set of existing heuristic classifiers).
+
+The 140 sources are generated programmatically the way a large
+organization accretes them: families of threshold rules over the
+aggregate statistics, the offline model scores, and the relationship
+graph, with per-rule thresholds spread across a range so quality varies.
+A handful are deliberately weak (volume-only rules) — the "previously
+unknown low-quality sources" that the generative model's learned
+accuracies expose (Section 3.3).
+
+Every source reads only non-servable features; none can run in the
+serving path. The deployment model is a DNN over the real-time servable
+signals (:func:`event_featurizer`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.events import (
+    AGGREGATE_STATS,
+    N_GRAPH_VIEWS,
+    N_MODEL_VARIANTS,
+    N_OFFLINE_MODELS,
+    SERVABLE_SIGNALS,
+    EventsWorld,
+)
+from repro.features.extractors import EventFeaturizer
+from repro.lf.base import AbstractLabelingFunction
+from repro.lf.registry import LFCategory, LFRegistry
+from repro.lf.templates import pattern_lf
+from repro.types import Example
+
+__all__ = ["build_event_lfs", "event_featurizer", "N_EVENT_LFS"]
+
+#: The paper's source count for this application.
+N_EVENT_LFS = 140
+
+
+def _stat(example: Example, name: str) -> float | None:
+    value = example.non_servable.get(name)
+    if value is None:
+        return None
+    value = float(value)
+    return value if not np.isnan(value) else None
+
+
+def _threshold_rule(
+    stat: str, threshold: float, above: bool
+) -> "callable[[Example], bool]":
+    def predicate(example: Example) -> bool:
+        value = _stat(example, stat)
+        if value is None:
+            return False
+        return value >= threshold if above else value <= threshold
+
+    return predicate
+
+
+def _conjunction_rule(
+    stat_a: str, thr_a: float, stat_b: str, thr_b: float
+) -> "callable[[Example], bool]":
+    def predicate(example: Example) -> bool:
+        a = _stat(example, stat_a)
+        b = _stat(example, stat_b)
+        if a is None or b is None:
+            return False
+        return a >= thr_a and b >= thr_b
+
+    return predicate
+
+
+def build_event_lfs(
+    world: EventsWorld,
+    n_lfs: int = N_EVENT_LFS,
+    seed: int = 7,
+) -> tuple[list[AbstractLabelingFunction], LFRegistry]:
+    """Generate the 140 weak sources over non-servable event features.
+
+    Mix (for the Figure 2 census): 50 model-based, 30 graph-based,
+    60 other heuristics (with ``n_lfs`` scaled proportionally if
+    overridden).
+    """
+    rng = np.random.default_rng(seed)
+    n_model = round(n_lfs * 50 / 140)
+    n_graph = round(n_lfs * 30 / 140)
+    n_heur = n_lfs - n_model - n_graph
+    lfs: list[AbstractLabelingFunction] = []
+
+    # ------------------------------------------------------------------
+    # model-based: each rule thresholds its own model variant (distinct
+    # artifacts accreted across teams, not copies of one score)
+    # ------------------------------------------------------------------
+    n_scores = N_OFFLINE_MODELS * N_MODEL_VARIANTS
+    for i in range(n_model):
+        score_index = i % n_scores
+        stat = f"offline_model_{score_index}"
+        if i % 5 == 4:
+            # Confident-negative rules: very low offline score.
+            threshold = float(rng.uniform(0.08, 0.2))
+            lfs.append(
+                pattern_lf(
+                    f"model_{score_index:02d}_low_{i:03d}",
+                    _threshold_rule(stat, threshold, above=False),
+                    vote=-1,
+                    category=LFCategory.MODEL_BASED,
+                    servable=False,
+                    description=f"offline model variant {score_index} score "
+                    f"<= {threshold:.2f}",
+                )
+            )
+        else:
+            threshold = float(rng.uniform(0.72, 0.93))
+            lfs.append(
+                pattern_lf(
+                    f"model_{score_index:02d}_high_{i:03d}",
+                    _threshold_rule(stat, threshold, above=True),
+                    vote=1,
+                    category=LFCategory.MODEL_BASED,
+                    servable=False,
+                    description=f"offline model variant {score_index} score "
+                    f">= {threshold:.2f}",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # graph-based: neighborhood bad-rate rules — higher recall, lower
+    # precision (thresholds deliberately permissive, per Section 3.3)
+    # ------------------------------------------------------------------
+    for i in range(n_graph):
+        signal = f"graph_view_{i % N_GRAPH_VIEWS}"
+        threshold = float(rng.uniform(0.25, 0.55))
+        lfs.append(
+            pattern_lf(
+                f"graph_{i % N_GRAPH_VIEWS:02d}_badrate_{i:03d}",
+                _threshold_rule(signal, threshold, above=True),
+                vote=1,
+                category=LFCategory.GRAPH_BASED,
+                servable=False,
+                description=f"{signal} >= {threshold:.2f} "
+                f"(relationship-graph signal)",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # other heuristics: rules over raw aggregates, including a weak tail
+    # ------------------------------------------------------------------
+    heuristic_specs = []
+    for i in range(n_heur):
+        kind = i % 6
+        if kind == 0:
+            thr = float(rng.uniform(0.45, 0.8))
+            heuristic_specs.append(
+                (f"heur_badrate_{i:03d}",
+                 _threshold_rule("bad_rate_30d", thr, above=True), 1,
+                 f"historical bad rate >= {thr:.2f}")
+            )
+        elif kind == 1:
+            thr = float(rng.uniform(0.55, 0.85))
+            heuristic_specs.append(
+                (f"heur_burst_{i:03d}",
+                 _threshold_rule("burst_score", thr, above=True), 1,
+                 f"burst score >= {thr:.2f}")
+            )
+        elif kind == 2:
+            thr = float(rng.uniform(20.0, 90.0))
+            heuristic_specs.append(
+                (f"heur_new_account_{i:03d}",
+                 _conjunction_rule("burst_score", 0.3, "bad_rate_30d", 0.1)
+                 if rng.random() < 0.3
+                 else _threshold_rule("age_days", thr, above=False), 1,
+                 f"account younger than {thr:.0f} days")
+            )
+        elif kind == 3:
+            thr = float(rng.uniform(40.0, 120.0))
+            heuristic_specs.append(
+                (f"heur_many_targets_{i:03d}",
+                 _threshold_rule("distinct_targets", thr, above=True), 1,
+                 f"distinct targets >= {thr:.0f}")
+            )
+        elif kind == 4:
+            # Trusted-source negative rules: old account, clean history.
+            age_thr = float(rng.uniform(700.0, 1500.0))
+            heuristic_specs.append(
+                (f"heur_trusted_{i:03d}",
+                 _conjunction_rule("age_days", age_thr, "volume_30d", 5.0), -1,
+                 f"account older than {age_thr:.0f} days with volume")
+            )
+        else:
+            # The deliberately weak tail: volume alone barely correlates
+            # with badness (these are the low-quality sources the learned
+            # accuracies should expose).
+            thr = float(rng.uniform(100.0, 400.0))
+            heuristic_specs.append(
+                (f"heur_volume_only_{i:03d}",
+                 _threshold_rule("volume_30d", thr, above=True), 1,
+                 f"30-day volume >= {thr:.0f} (weak heuristic)")
+            )
+
+    for name, predicate, vote, description in heuristic_specs:
+        lfs.append(
+            pattern_lf(
+                name,
+                predicate,
+                vote=vote,
+                category=LFCategory.OTHER_HEURISTIC,
+                servable=False,
+                description=description,
+            )
+        )
+
+    registry = LFRegistry("realtime_events")
+    for lf in lfs:
+        registry.register(lf.info)
+    return lfs, registry
+
+
+def event_featurizer() -> EventFeaturizer:
+    """Servable real-time features for the events DNN (Section 6.4)."""
+    return EventFeaturizer(
+        signals=[*SERVABLE_SIGNALS, "platform_a"],
+        name="event_realtime_signals",
+    )

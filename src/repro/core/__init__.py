@@ -1,0 +1,57 @@
+"""The paper's primary contribution: scalable, sampling-free generative
+modeling of labeling-function accuracies, plus the combiners and baselines
+the evaluation compares against.
+
+Public surface:
+
+* :class:`SamplingFreeLabelModel` — the Section 5.2 model: per-LF accuracy
+  and propensity parameters in log space, trained by exact minibatch
+  gradient descent on the marginal likelihood of the observed label matrix.
+* :class:`MulticlassLabelModel` — the categorical-target generalization
+  mentioned in Section 2.
+* :class:`GibbsLabelModel` — the original-Snorkel Gibbs-sampling trainer,
+  kept as the speed baseline for the Section 5.2 comparison.
+* :mod:`repro.core.combiners` — Logical-OR and equal-weight baselines used
+  in Sections 6.3/6.4.
+* :class:`StructuredLabelModel` — the low-tree-width dependency extension
+  flagged as future work in Section 5.2.
+* :class:`TripletLabelModel` — the matrix-factorization-style denoiser
+  plug-in (reference [31]).
+* :class:`LFAnalysis` — coverage/overlap/conflict/accuracy diagnostics
+  (how Section 3.3's "previously unknown low-quality sources" were found).
+"""
+
+from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.core.multiclass import MulticlassLabelModel
+from repro.core.gibbs import GibbsLabelModel
+from repro.core.combiners import (
+    equal_weight_probabilities,
+    logical_or_labels,
+    majority_vote_labels,
+    weighted_vote_probabilities,
+)
+from repro.core.structure import StructuredLabelModel
+from repro.core.matrix_completion import TripletLabelModel
+from repro.core.analysis import LFAnalysis
+from repro.core.noise_aware import (
+    expected_log_loss,
+    labels_to_soft_targets,
+    soft_targets_to_weights,
+)
+
+__all__ = [
+    "LabelModelConfig",
+    "SamplingFreeLabelModel",
+    "MulticlassLabelModel",
+    "GibbsLabelModel",
+    "StructuredLabelModel",
+    "TripletLabelModel",
+    "LFAnalysis",
+    "equal_weight_probabilities",
+    "logical_or_labels",
+    "majority_vote_labels",
+    "weighted_vote_probabilities",
+    "expected_log_loss",
+    "labels_to_soft_targets",
+    "soft_targets_to_weights",
+]

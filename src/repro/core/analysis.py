@@ -1,0 +1,197 @@
+"""Labeling-function diagnostics.
+
+Section 3.3: "the resulting estimated accuracies were found to be
+independently useful for identifying previously unknown low-quality
+sources (which were then either fixed or removed)."
+
+:class:`LFAnalysis` computes the per-LF statistics an engineer inspects
+while iterating on labeling functions: coverage, overlap, conflict,
+polarity, empirical accuracy against a labeled development set, and the
+generative model's learned accuracy. ``flag_low_quality`` reproduces the
+triage workflow described for the events application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LFStats", "LFAnalysis"]
+
+
+@dataclass
+class LFStats:
+    """Summary statistics for one labeling function."""
+
+    name: str
+    coverage: float
+    overlap: float
+    conflict: float
+    polarity: tuple[int, ...]
+    empirical_accuracy: float | None = None
+    learned_accuracy: float | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "coverage": self.coverage,
+            "overlap": self.overlap,
+            "conflict": self.conflict,
+            "polarity": self.polarity,
+            "empirical_accuracy": self.empirical_accuracy,
+            "learned_accuracy": self.learned_accuracy,
+        }
+
+
+class LFAnalysis:
+    """Diagnostics over a label matrix ``L`` of shape (m, n)."""
+
+    def __init__(self, L: np.ndarray, lf_names: list[str] | None = None) -> None:
+        L = np.asarray(L)
+        if L.ndim != 2:
+            raise ValueError(f"label matrix must be 2-D, got {L.shape}")
+        self.L = L
+        self.n_examples, self.n_lfs = L.shape
+        self.lf_names = lf_names or [f"lf_{j}" for j in range(self.n_lfs)]
+        if len(self.lf_names) != self.n_lfs:
+            raise ValueError("lf_names length does not match matrix width")
+
+    # ------------------------------------------------------------------
+    # per-LF statistics
+    # ------------------------------------------------------------------
+    def coverage(self) -> np.ndarray:
+        """Fraction of examples each LF votes on."""
+        return (self.L != 0).mean(axis=0)
+
+    def overlap(self) -> np.ndarray:
+        """Fraction of examples where the LF votes and so does another."""
+        non_abstain = self.L != 0
+        others = non_abstain.sum(axis=1, keepdims=True) - non_abstain
+        return (non_abstain & (others > 0)).mean(axis=0)
+
+    def conflict(self) -> np.ndarray:
+        """Fraction of examples where the LF votes and another disagrees."""
+        out = np.zeros(self.n_lfs)
+        non_abstain = self.L != 0
+        for j in range(self.n_lfs):
+            votes_j = self.L[:, j]
+            mask = votes_j != 0
+            if not mask.any():
+                continue
+            others = np.delete(self.L[mask], j, axis=1)
+            disagreement = np.any(
+                (others != 0) & (others != votes_j[mask, None]), axis=1
+            )
+            out[j] = disagreement.sum() / self.n_examples
+        return out
+
+    def polarities(self) -> list[tuple[int, ...]]:
+        """Distinct non-abstain labels emitted by each LF."""
+        out = []
+        for j in range(self.n_lfs):
+            values = np.unique(self.L[:, j])
+            out.append(tuple(int(v) for v in values if v != 0))
+        return out
+
+    def empirical_accuracies(self, gold: np.ndarray) -> np.ndarray:
+        """Accuracy on non-abstain votes against gold labels.
+
+        Returns NaN for LFs that never vote on the labeled slice.
+        """
+        gold = np.asarray(gold)
+        if gold.shape != (self.n_examples,):
+            raise ValueError(
+                f"gold shape {gold.shape} does not match {self.n_examples} examples"
+            )
+        out = np.full(self.n_lfs, np.nan)
+        for j in range(self.n_lfs):
+            mask = self.L[:, j] != 0
+            if mask.any():
+                out[j] = float((self.L[mask, j] == gold[mask]).mean())
+        return out
+
+    # ------------------------------------------------------------------
+    # pairwise statistics
+    # ------------------------------------------------------------------
+    def agreement_matrix(self) -> np.ndarray:
+        """``A[j, k]`` = P(agree | both non-abstain); NaN if never co-vote."""
+        n = self.n_lfs
+        A = np.full((n, n), np.nan)
+        for j in range(n):
+            for k in range(n):
+                both = (self.L[:, j] != 0) & (self.L[:, k] != 0)
+                if both.any():
+                    A[j, k] = float(
+                        (self.L[both, j] == self.L[both, k]).mean()
+                    )
+        return A
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(
+        self,
+        gold: np.ndarray | None = None,
+        learned_accuracies: np.ndarray | None = None,
+    ) -> list[LFStats]:
+        """Full per-LF summary, optionally joined with gold/learned accuracy."""
+        cov = self.coverage()
+        ove = self.overlap()
+        con = self.conflict()
+        pol = self.polarities()
+        emp = self.empirical_accuracies(gold) if gold is not None else None
+        out = []
+        for j, name in enumerate(self.lf_names):
+            out.append(
+                LFStats(
+                    name=name,
+                    coverage=float(cov[j]),
+                    overlap=float(ove[j]),
+                    conflict=float(con[j]),
+                    polarity=pol[j],
+                    empirical_accuracy=(
+                        None if emp is None or np.isnan(emp[j]) else float(emp[j])
+                    ),
+                    learned_accuracy=(
+                        None
+                        if learned_accuracies is None
+                        else float(learned_accuracies[j])
+                    ),
+                )
+            )
+        return out
+
+    def flag_low_quality(
+        self,
+        learned_accuracies: np.ndarray,
+        threshold: float = 0.6,
+    ) -> list[str]:
+        """Names of LFs whose learned accuracy falls below ``threshold`` —
+        the Section 3.3 triage that surfaced "previously unknown
+        low-quality sources"."""
+        learned_accuracies = np.asarray(learned_accuracies)
+        if learned_accuracies.shape != (self.n_lfs,):
+            raise ValueError("learned_accuracies length must match LF count")
+        return [
+            name
+            for name, acc in zip(self.lf_names, learned_accuracies)
+            if acc < threshold
+        ]
+
+    def as_table(self, **kwargs) -> str:
+        """Plain-text table rendering of :meth:`summary`."""
+        rows = self.summary(**kwargs)
+        header = (
+            f"{'labeling function':<32} {'cov':>6} {'ovl':>6} {'cnf':>6} "
+            f"{'emp.acc':>8} {'lrn.acc':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for stats in rows:
+            emp = "-" if stats.empirical_accuracy is None else f"{stats.empirical_accuracy:.3f}"
+            lrn = "-" if stats.learned_accuracy is None else f"{stats.learned_accuracy:.3f}"
+            lines.append(
+                f"{stats.name:<32} {stats.coverage:>6.3f} {stats.overlap:>6.3f} "
+                f"{stats.conflict:>6.3f} {emp:>8} {lrn:>8}"
+            )
+        return "\n".join(lines)

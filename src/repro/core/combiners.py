@@ -1,0 +1,92 @@
+"""Baseline combiners for labeling-function votes.
+
+The paper's ablations compare the learned generative model against two
+simpler ways of combining the same votes:
+
+* **Equal weights** (Table 4): "the probabilistic training labels were an
+  unweighted average of the labeling function votes."
+* **Logical-OR** (Section 6.4 / Figure 6): an event is labeled positive
+  if *any* weak source fires positive — the incumbent approach for the
+  real-time events application, which over-estimates scores.
+
+Majority vote and generic weighted votes are included because they are
+the other standard points of comparison for weak-supervision systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "equal_weight_probabilities",
+    "majority_vote_labels",
+    "logical_or_labels",
+    "logical_or_probabilities",
+    "weighted_vote_probabilities",
+]
+
+
+def _as_matrix(L: np.ndarray) -> np.ndarray:
+    L = np.asarray(L, dtype=np.float64)
+    if L.ndim != 2:
+        raise ValueError(f"label matrix must be 2-D, got shape {L.shape}")
+    return L
+
+
+def equal_weight_probabilities(L: np.ndarray) -> np.ndarray:
+    """Unweighted average of votes mapped to [0, 1].
+
+    Abstains contribute 0 to the average (they are votes of 0), matching
+    the Table 4 baseline. An all-abstain row yields exactly 0.5.
+    """
+    L = _as_matrix(L)
+    if L.shape[1] == 0:
+        return np.full(L.shape[0], 0.5)
+    return (1.0 + L.mean(axis=1)) / 2.0
+
+
+def majority_vote_labels(L: np.ndarray, tie_break: int = -1) -> np.ndarray:
+    """Hard majority vote over non-abstain votes; ties/all-abstain fall
+    back to ``tie_break`` (negative by default — the rare class in every
+    application here is positive)."""
+    L = _as_matrix(L)
+    sums = L.sum(axis=1)
+    labels = np.where(sums > 0, 1, np.where(sums < 0, -1, tie_break))
+    return labels.astype(np.int8)
+
+
+def logical_or_labels(L: np.ndarray) -> np.ndarray:
+    """Positive iff any LF votes positive; else negative.
+
+    This is the incumbent combination strategy for the real-time events
+    application (Section 6.4): every firing source is trusted completely.
+    """
+    L = _as_matrix(L)
+    any_positive = np.any(L == 1, axis=1)
+    return np.where(any_positive, 1, -1).astype(np.int8)
+
+
+def logical_or_probabilities(L: np.ndarray) -> np.ndarray:
+    """Logical-OR as degenerate probabilities {0, 1}.
+
+    Training on these is what produces the over-confident score histogram
+    on the left of Figure 6.
+    """
+    return (logical_or_labels(L) == 1).astype(np.float64)
+
+
+def weighted_vote_probabilities(L: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Sigmoid of a weighted vote sum.
+
+    With ``weights = 2 * alpha`` this reproduces the generative model's
+    posterior exactly (see :class:`repro.core.SamplingFreeLabelModel`),
+    which the tests use as a consistency check.
+    """
+    L = _as_matrix(L)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (L.shape[1],):
+        raise ValueError(
+            f"weights shape {weights.shape} does not match {L.shape[1]} LFs"
+        )
+    scores = L @ weights
+    return 1.0 / (1.0 + np.exp(-np.clip(scores, -500, 500)))

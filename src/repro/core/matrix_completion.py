@@ -1,0 +1,146 @@
+"""Matrix-factorization-style label-model plug-in.
+
+Section 5.2: "It is also possible to directly plug-in matrix factorization
+models of the kind recently used for denoising labeling functions [31] as
+TensorFlow model functions." Reference [31] is Ratner et al., *Training
+Complex Models with Multi-Task Weak Supervision* (AAAI 2019), whose core
+estimator recovers LF accuracies from the low-rank structure of the label
+matrix's second moments, without any gradient-based likelihood fitting.
+
+We implement the closed-form **triplet** instantiation: under conditional
+independence and a roughly balanced prior, the polarized agreement rates
+``O_jk = E[lambda_j lambda_k | both vote]`` factor as ``O_jk = a_j a_k``
+with ``a_j = E[lambda_j Y | lambda_j != 0] = 2 acc_j - 1``, so any triplet
+``(j, k, l)`` determines ``|a_j| = sqrt(|O_jk O_jl / O_kl|)``. We estimate
+each ``|a_j|`` as the median over all usable triplets, resolve signs under
+the standard better-than-random-majority assumption, and convert to the
+same posterior form the gradient-trained model uses.
+
+This estimator is dramatically faster than even the sampling-free
+gradient trainer (one pass over the matrix plus O(n^3) scalar work) and
+serves as the "plug-in" alternative the paper gestures at; the ablation
+benchmark compares all three trainers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TripletLabelModel"]
+
+
+class TripletLabelModel:
+    """Closed-form method-of-moments label model (binary)."""
+
+    def __init__(
+        self,
+        min_overlap: int = 10,
+        min_agreement: float = 0.02,
+        accuracy_clip: tuple[float, float] = (0.05, 0.95),
+    ) -> None:
+        self.min_overlap = min_overlap
+        self.min_agreement = min_agreement
+        self.accuracy_clip = accuracy_clip
+        self.a: np.ndarray | None = None  # E[lambda Y | non-abstain]
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def fit(self, L: np.ndarray) -> "TripletLabelModel":
+        L = np.asarray(L, dtype=np.float64)
+        m, n = L.shape
+        if n < 3:
+            raise ValueError("the triplet estimator needs at least 3 LFs")
+
+        # Pairwise polarized agreement on co-voting examples.
+        O = np.full((n, n), np.nan)
+        for j in range(n):
+            for k in range(j + 1, n):
+                both = (L[:, j] != 0) & (L[:, k] != 0)
+                if both.sum() >= self.min_overlap:
+                    O[j, k] = O[k, j] = float(
+                        (L[both, j] * L[both, k]).mean()
+                    )
+
+        lo, hi = self.accuracy_clip
+        a_lo, a_hi = 2 * lo - 1, 2 * hi - 1
+        estimates: list[list[float]] = [[] for _ in range(n)]
+        for j in range(n):
+            for k in range(n):
+                if k == j or np.isnan(O[j, k]):
+                    continue
+                for l in range(k + 1, n):
+                    if l == j or np.isnan(O[j, l]) or np.isnan(O[k, l]):
+                        continue
+                    if abs(O[k, l]) < self.min_agreement:
+                        continue
+                    value = O[j, k] * O[j, l] / O[k, l]
+                    if value < 0:
+                        continue
+                    estimates[j].append(float(np.sqrt(value)))
+
+        magnitude = np.empty(n)
+        for j in range(n):
+            if estimates[j]:
+                magnitude[j] = float(np.median(estimates[j]))
+            else:
+                # Isolated LF: fall back to a weakly-informative default.
+                magnitude[j] = 0.2
+        magnitude = np.clip(magnitude, 0.0, abs(a_hi))
+
+        signs = self._resolve_signs(O, magnitude)
+        self.a = np.clip(signs * magnitude, a_lo, a_hi)
+        return self
+
+    def _resolve_signs(self, O: np.ndarray, magnitude: np.ndarray) -> np.ndarray:
+        """Choose per-LF signs consistent with observed agreements.
+
+        ``sign(O_jk) = sign(a_j) * sign(a_k)``: build a graph coloring by
+        greedy propagation from the highest-|a| LF, then orient globally
+        so that the majority of LFs are better than random.
+        """
+        n = len(magnitude)
+        signs = np.zeros(n)
+        order = np.argsort(-magnitude)
+        for seed in order:
+            if signs[seed] != 0:
+                continue
+            signs[seed] = 1.0
+            frontier = [seed]
+            while frontier:
+                j = frontier.pop()
+                for k in range(n):
+                    if signs[k] != 0 or np.isnan(O[j, k]):
+                        continue
+                    if abs(O[j, k]) < self.min_agreement:
+                        continue
+                    signs[k] = signs[j] * np.sign(O[j, k])
+                    frontier.append(k)
+        signs[signs == 0] = 1.0
+        if (signs > 0).sum() < n / 2:
+            signs = -signs
+        return signs
+
+    # ------------------------------------------------------------------
+    # inference (same posterior form as the likelihood-trained model)
+    # ------------------------------------------------------------------
+    def accuracies(self) -> np.ndarray:
+        """``P(correct | non-abstain)`` per LF: ``(1 + a_j) / 2``."""
+        self._check_fitted()
+        return (1.0 + self.a) / 2.0
+
+    def predict_proba(self, L: np.ndarray, prior: float = 0.5) -> np.ndarray:
+        """Posterior under conditional independence with the estimated
+        accuracies: each non-abstain vote contributes
+        ``lambda * logit(acc)`` to the log-odds."""
+        self._check_fitted()
+        L = np.asarray(L, dtype=np.float64)
+        acc = np.clip(self.accuracies(), 1e-4, 1 - 1e-4)
+        weights = np.log(acc / (1.0 - acc))
+        prior = min(max(prior, 1e-9), 1 - 1e-9)
+        scores = L @ weights + np.log(prior / (1 - prior))
+        return 1.0 / (1.0 + np.exp(-np.clip(scores, -500, 500)))
+
+    def _check_fitted(self) -> None:
+        if self.a is None:
+            raise RuntimeError("model is not fitted; call fit() first")

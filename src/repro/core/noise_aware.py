@@ -1,0 +1,69 @@
+"""Noise-aware loss utilities (Section 2).
+
+The discriminative classifier is trained by "minimizing a noise-aware
+variant of a standard loss function, i.e. we minimize the expected loss
+with respect to Y-tilde"::
+
+    theta_hat = argmin_theta sum_i E_{y ~ Y~_i} [ l(h_theta(X_i), y) ]
+
+For log loss this expectation is the cross-entropy against the soft
+posterior; these helpers convert the generative model's posteriors into
+soft targets and compute the expected loss, and are shared by the FTRL
+logistic regression and the numpy MLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "labels_to_soft_targets",
+    "soft_targets_to_weights",
+    "expected_log_loss",
+    "clip_probabilities",
+]
+
+_EPS = 1e-12
+
+
+def clip_probabilities(p: np.ndarray, eps: float = 1e-7) -> np.ndarray:
+    """Clip probabilities away from {0, 1} for stable log loss."""
+    return np.clip(np.asarray(p, dtype=np.float64), eps, 1.0 - eps)
+
+
+def labels_to_soft_targets(labels: np.ndarray) -> np.ndarray:
+    """Map hard labels in {-1, +1} to degenerate soft targets {0, 1}.
+
+    Lets the supervised baselines run through the exact same noise-aware
+    training code path as the weakly supervised models.
+    """
+    labels = np.asarray(labels)
+    if not np.all(np.isin(np.unique(labels), (-1, 1))):
+        raise ValueError("hard labels must be in {-1, +1}")
+    return (labels == 1).astype(np.float64)
+
+
+def soft_targets_to_weights(soft: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Decompose soft targets into (positive weight, negative weight).
+
+    The expected loss ``E_{y~p}[l(h, y)]`` over a binary y equals
+    ``p * l(h, +1) + (1-p) * l(h, -1)`` — i.e. each example acts as a
+    positive with weight ``p`` and a negative with weight ``1-p``. FTRL
+    consumes this decomposition directly.
+    """
+    soft = np.asarray(soft, dtype=np.float64)
+    if np.any(soft < 0) or np.any(soft > 1):
+        raise ValueError("soft targets must lie in [0, 1]")
+    return soft, 1.0 - soft
+
+
+def expected_log_loss(predicted: np.ndarray, soft_targets: np.ndarray) -> float:
+    """Mean noise-aware log loss ``E_{y~p}[-log P(y | x)]``."""
+    predicted = clip_probabilities(predicted)
+    soft = np.asarray(soft_targets, dtype=np.float64)
+    if predicted.shape != soft.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predicted.shape} vs targets {soft.shape}"
+        )
+    losses = -(soft * np.log(predicted) + (1.0 - soft) * np.log(1.0 - predicted))
+    return float(losses.mean()) if losses.size else 0.0

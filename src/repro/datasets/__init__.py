@@ -1,0 +1,43 @@
+"""Synthetic Google-like datasets for the three case studies.
+
+The paper evaluates on "benchmark data sets using Google data
+representative of the production tasks" (Section 6) — data we cannot
+have. Per the reproduction ground rules (see DESIGN.md Section 2), this
+package builds seeded synthetic worlds that put every code path in the
+same statistical regime:
+
+* :mod:`repro.datasets.content` — the topic- and product-classification
+  corpora (Table 1 regimes: rare positives, keyword-filtered pools,
+  servable raw content + non-servable model/crawler/KG signals);
+* :mod:`repro.datasets.events` — the real-time events stream over two
+  platforms, with offline aggregate statistics, a source-relationship
+  graph, and servable real-time signal vectors;
+* :mod:`repro.datasets.vocab` — the shared vocabulary, entity lists,
+  domain tables and simulated keyword translations.
+
+Generators are deterministic given ``(seed, scale)``.
+"""
+
+from repro.datasets.content import (
+    ContentDataset,
+    ContentWorld,
+    build_content_world,
+    generate_product_dataset,
+    generate_topic_dataset,
+)
+from repro.datasets.events import (
+    EventsDataset,
+    EventsWorld,
+    generate_events_dataset,
+)
+
+__all__ = [
+    "ContentDataset",
+    "ContentWorld",
+    "build_content_world",
+    "generate_topic_dataset",
+    "generate_product_dataset",
+    "EventsDataset",
+    "EventsWorld",
+    "generate_events_dataset",
+]

@@ -1,0 +1,320 @@
+"""Vocabulary, entities, domains, and simulated translations.
+
+Everything here is synthetic but structured: the coarse category keyword
+lists feed the internal topic model, the entity lists feed the NER
+lexicon, the product/brand lists feed the Knowledge Graph, and the domain
+tables feed the crawler. The content generators compose documents from
+these same lists, so each organizational resource correlates with the
+latent task labels the way its real counterpart would.
+
+Translations are simulated as ``word#lang`` surface forms (e.g.
+``helmet#de``). Real translations are unavailable offline; what the
+product application needs is only that (a) non-English documents use
+surface forms the English keyword LFs cannot match, and (b) the Knowledge
+Graph can map English keywords to exactly those forms. The ``#`` joiner
+survives tokenization as a single token, preserving both properties.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FILLER_WORDS",
+    "COARSE_CATEGORIES",
+    "CELEBRITIES",
+    "POLITICIANS",
+    "ORGANIZATIONS",
+    "LOCATIONS",
+    "CELEB_KEYWORDS",
+    "TOPIC_FILTER_KEYWORDS",
+    "OFFTOPIC_KEYWORDS",
+    "DOMAINS",
+    "BIKE_PRODUCTS",
+    "BIKE_ACCESSORIES",
+    "CAR_ACCESSORIES",
+    "PHONE_ACCESSORIES",
+    "BIKE_BRANDS",
+    "COMMERCE_WORDS",
+    "LANGUAGES",
+    "translate",
+]
+
+#: Generic filler tokens used by every document.
+FILLER_WORDS = [
+    "the", "a", "an", "of", "in", "on", "with", "for", "and", "but", "about",
+    "after", "before", "during", "new", "latest", "today", "yesterday",
+    "week", "year", "report", "reports", "update", "updates", "story",
+    "people", "public", "official", "officials", "statement", "announced",
+    "announcement", "shared", "revealed", "details", "sources", "according",
+    "exclusive", "full", "read", "more", "watch", "video", "photos", "images",
+    "first", "second", "third", "major", "minor", "big", "small", "early",
+    "late", "recent", "recently", "now", "live", "breaking", "follow",
+    "comment", "comments", "reaction", "reactions", "response", "change",
+    "changes", "plan", "plans", "event", "events", "group", "team", "local",
+    "national", "global", "world", "city", "state", "region", "community",
+    "member", "members", "history", "future", "past", "moment", "time",
+    "special", "everything", "anything", "something", "nothing", "best",
+    "worst", "top", "list", "guide", "tips", "ways", "reasons", "things",
+]
+
+#: Coarse categories maintained by the internal topic model (Section 3.1:
+#: "semantic categorizations far too coarse-grained for the targeted
+#: task"). The fine-grained target classes (celebrity content, cycling
+#: products) are deliberately NOT categories here.
+COARSE_CATEGORIES: dict[str, list[str]] = {
+    "entertainment": [
+        "movie", "film", "show", "series", "episode", "season", "premiere",
+        "trailer", "screen", "drama", "comedy", "theater",
+    ],
+    "music": [
+        "album", "song", "single", "tour", "concert", "band", "lyrics",
+        "chart", "playlist", "studio", "record", "stage",
+    ],
+    "sports": [
+        "game", "match", "league", "championship", "playoff", "score",
+        "coach", "player", "season", "tournament", "stadium", "goal",
+    ],
+    "finance": [
+        "market", "stock", "shares", "earnings", "revenue", "investor",
+        "trading", "economy", "inflation", "interest", "quarterly", "profit",
+    ],
+    "technology": [
+        "software", "hardware", "startup", "device", "chip", "server",
+        "cloud", "data", "platform", "update", "release", "developer",
+    ],
+    "automotive": [
+        "car", "engine", "vehicle", "sedan", "suv", "truck", "horsepower",
+        "dealership", "mileage", "hybrid", "electric", "driving",
+    ],
+    "travel": [
+        "flight", "hotel", "destination", "vacation", "airport", "tourism",
+        "itinerary", "beach", "resort", "passport", "luggage", "booking",
+    ],
+    "food": [
+        "recipe", "restaurant", "chef", "menu", "ingredients", "baking",
+        "dinner", "kitchen", "flavor", "dish", "cooking", "dessert",
+    ],
+    "health": [
+        "doctor", "patient", "treatment", "symptoms", "vaccine", "clinic",
+        "wellness", "diagnosis", "therapy", "hospital", "medicine", "study",
+    ],
+    "politics": [
+        "election", "senate", "congress", "policy", "vote", "campaign",
+        "legislation", "parliament", "minister", "debate", "bill", "party",
+    ],
+    "science": [
+        "research", "experiment", "laboratory", "physics", "biology",
+        "astronomy", "telescope", "species", "climate", "discovery",
+        "journal", "hypothesis",
+    ],
+    "fashion": [
+        "designer", "runway", "collection", "fabric", "style", "outfit",
+        "couture", "model", "brand", "trend", "wardrobe", "accessories",
+    ],
+    "gaming": [
+        "console", "gameplay", "multiplayer", "quest", "esports", "level",
+        "studio", "patch", "controller", "streamer", "launch", "franchise",
+    ],
+    "realestate": [
+        "property", "mortgage", "listing", "apartment", "housing", "rent",
+        "broker", "square", "footage", "neighborhood", "buyer", "seller",
+    ],
+    "education": [
+        "school", "students", "teacher", "curriculum", "university",
+        "tuition", "classroom", "degree", "campus", "exam", "lecture",
+        "scholarship",
+    ],
+    "cycling": [
+        "ride", "trail", "pedal", "race", "gravel", "commute", "cyclist",
+        "route", "climb", "sprint", "tour", "track",
+    ],
+    "outdoors": [
+        "hiking", "camping", "tent", "backpack", "mountain", "river",
+        "forest", "wildlife", "fishing", "kayak", "summit", "gear",
+    ],
+    "pets": [
+        "dog", "cat", "puppy", "kitten", "veterinarian", "adoption",
+        "leash", "grooming", "breed", "shelter", "training", "toys",
+    ],
+}
+
+#: Synthetic celebrity roster (person entities correlated with the topic
+#: task's positive class).
+_CELEB_FIRST = [
+    "Avery", "Blake", "Carmen", "Dakota", "Elle", "Flynn", "Gigi",
+    "Harlow", "Indie", "Jolie", "Kendra", "Lennox", "Marlowe", "Nova",
+    "Orion", "Presley", "Quinn", "Raven", "Sienna", "Tatum",
+]
+_CELEB_LAST = [
+    "Sterling", "Monroe", "Valentine", "Storm", "Winters", "Fox",
+    "Laurent", "Devereaux", "Knight", "Blaze",
+]
+CELEBRITIES = [
+    f"{first} {last}" for first in _CELEB_FIRST for last in _CELEB_LAST
+][:60]
+
+#: People who are *not* celebrities — person entities that appear in
+#: negative documents, keeping the NER-based LFs honest.
+POLITICIANS = [
+    "Walter Hargrove", "Edith Calloway", "Norman Whitfield", "Doris Penn",
+    "Harold Eastman", "Margaret Shaw", "Clifford Boone", "Agnes Mercer",
+    "Vernon Liddell", "Beatrice Crane", "Stanley Redmond", "Florence Gage",
+    "Raymond Holt", "Wilma Prescott", "Chester Lowell", "Irene Fairbanks",
+]
+
+ORGANIZATIONS = [
+    "Northbridge Capital", "Solara Motors", "Vexel Labs", "Pinewood Studios",
+    "Crestline Media", "Halcyon Records", "Bluepeak Analytics",
+    "Irongate Security", "Meridian Health", "Atlas Logistics",
+    "Summit Broadcasting", "Lakeshore Ventures",
+]
+
+LOCATIONS = [
+    "Westhaven", "Northfield", "Eastport", "Silver Falls", "Maple Ridge",
+    "Crown Heights", "Harbor City", "Stonebrook", "Fairview", "Lakemont",
+]
+
+#: Fine-grained positive-class keywords for the topic task (celebrity
+#: content). The topic model does NOT know these as a category.
+CELEB_KEYWORDS = [
+    "celebrity", "paparazzi", "red-carpet", "gossip", "stardom", "tabloid",
+    "engagement", "breakup", "dating", "rumor", "spotted", "glamour",
+    "premiere-party", "afterparty", "entourage", "fanbase", "icon",
+    "superstar", "scandal", "interview",
+]
+
+#: Synonym vocabulary used by a slice of celebrity content. These words
+#: are deliberately NOT in any labeling function's keyword list: the
+#: discriminative classifier can learn them from raw content (it sees
+#: them co-occur with weakly-labeled positives), but the keyword LFs and
+#: hence the generative model cannot — this is the "learning to
+#: generalize beyond the labeling functions" effect of Section 2.
+CELEB_SYNONYMS = [
+    "heartthrob", "diva", "limelight", "starlet", "socialite", "tinseltown",
+    "met-gala", "debut", "biopic", "lovebirds", "whirlwind-romance",
+    "wardrobe-moment",
+]
+
+#: The coarse keyword filter that built the unlabeled pool (Section 3.1:
+#: "selected by a coarse-grained initial keyword-filtering step"). Every
+#: pooled example — positive or negative — contains at least one of
+#: these, which is exactly why keyword-only LFs are imprecise.
+TOPIC_FILTER_KEYWORDS = [
+    "star", "famous", "fame", "spotlight", "trending", "viral", "buzz",
+    "headline", "style", "fans",
+]
+
+#: Strongly off-topic keywords used by the negative keyword LF — two to
+#: three signature terms per unrelated coarse category, the way a
+#: blunt-but-broad blocklist accretes in practice.
+OFFTOPIC_KEYWORDS = [
+    "earnings", "quarterly", "inflation", "trading",        # finance
+    "mortgage", "listing", "housing",                       # real estate
+    "horsepower", "dealership", "sedan",                    # automotive
+    "vaccine", "diagnosis", "symptoms",                     # health
+    "curriculum", "tuition", "classroom",                   # education
+    "legislation", "senate", "parliament",                  # politics
+    "telescope", "laboratory", "hypothesis",                # science
+    "playoff", "league", "championship",                    # sports
+    "itinerary", "airport", "passport",                     # travel
+    "recipe", "chef", "ingredients",                        # food
+    "gameplay", "console", "esports",                       # gaming
+    "runway", "couture", "fabric",                          # fashion
+    "startup", "server", "developer",                       # technology
+]
+
+#: Domain tables for URLs: domain -> (site category, quality score).
+DOMAINS: dict[str, tuple[str, float]] = {
+    # entertainment / gossip sites (positive-leaning for the topic task)
+    "celebdaily.example": ("entertainment", 0.9),
+    "starwatch.example": ("entertainment", 0.85),
+    "glamfeed.example": ("entertainment", 0.8),
+    "redcarpetwire.example": ("entertainment", 0.75),
+    "fanbuzz.example": ("entertainment", 0.6),
+    # general news
+    "morningledger.example": ("news", 0.85),
+    "citytribune.example": ("news", 0.8),
+    "daybreakpost.example": ("news", 0.7),
+    # category sites
+    "marketpulse.example": ("finance", 0.85),
+    "tradingdesk.example": ("finance", 0.8),
+    "autotorque.example": ("automotive", 0.8),
+    "gearhead.example": ("automotive", 0.7),
+    "labnotes.example": ("science", 0.85),
+    "pitchside.example": ("sports", 0.8),
+    "stadiumecho.example": ("sports", 0.7),
+    "tablefare.example": ("food", 0.75),
+    "wanderlist.example": ("travel", 0.75),
+    "chartline.example": ("music", 0.7),
+    "screenroom.example": ("entertainment", 0.7),
+    # shopping
+    "dealcart.example": ("shopping", 0.65),
+    "bargainbin.example": ("shopping", 0.5),
+    "velodrome-shop.example": ("shopping", 0.8),
+    # low-quality / spam
+    "clickstorm.example": ("spam", 0.15),
+    "viralmill.example": ("spam", 0.1),
+    "buzzfarm.example": ("spam", 0.2),
+}
+
+ENTERTAINMENT_DOMAINS = [
+    d for d, (cat, _) in DOMAINS.items() if cat == "entertainment"
+]
+SPAM_DOMAINS = [d for d, (cat, _) in DOMAINS.items() if cat == "spam"]
+NEWS_DOMAINS = [d for d, (cat, _) in DOMAINS.items() if cat == "news"]
+
+#: Product vocabulary for the product-classification task ("bicycles and
+#: cycling accessories and parts" as the expanded category of interest).
+BIKE_PRODUCTS = [
+    "bicycle", "bike", "roadbike", "mountainbike", "tandem", "ebike",
+    "fixie", "velocipede", "tricycle", "cyclocross",
+]
+BIKE_ACCESSORIES = [
+    "helmet", "saddle", "pannier", "derailleur", "handlebar", "kickstand",
+    "crankset", "chainring", "mudguard", "bikelock", "bottlecage",
+    "cyclecomputer", "innertube", "spoke", "pedals",
+]
+#: Accessories of *other* categories — the confusers that made the
+#: category expansion painful (they share commercial context and even
+#: words like "mount" and "charger" with cycling accessories).
+CAR_ACCESSORIES = [
+    "dashcam", "floormat", "roofrack", "towbar", "carcharger", "seatcover",
+    "windshield", "hubcap", "sparkplug", "wiperblade",
+]
+PHONE_ACCESSORIES = [
+    "phonecase", "screenprotector", "powerbank", "earbuds", "charger",
+    "carmount", "selfiestick", "cablekit", "wirelesspad", "stylus",
+]
+
+#: Niche cycling products missing from both the keyword lists and the
+#: Knowledge Graph — the product-side analogue of CELEB_SYNONYMS: only a
+#: classifier over raw content can learn to recall these (from brand /
+#: commerce / cycling context co-occurring with weakly-labeled positives).
+NOVEL_BIKE_PRODUCTS = [
+    "recumbent", "velomobile", "cargobike", "gravelbike", "balancebike",
+    "unicycle", "pennyfarthing", "foldingbike",
+]
+
+BIKE_BRANDS = [
+    "Veloria", "Pedalcraft", "Spokesmith", "Ridgeline Cycles",
+    "Tornado Bikes", "Chainforge",
+]
+
+COMMERCE_WORDS = [
+    "buy", "price", "review", "sale", "deal", "shop", "order", "shipping",
+    "discount", "bestseller", "compare", "unboxing",
+]
+
+#: The ten languages of the Knowledge-Graph translation expansion
+#: (Section 3.2: "translations of keywords in ten languages").
+LANGUAGES = ["de", "fr", "es", "it", "pt", "nl", "sv", "pl", "tr", "ja"]
+
+
+def translate(word: str, language: str) -> str:
+    """Simulated translation surface form (see module docstring).
+
+    >>> translate("helmet", "de")
+    'helmet#de'
+    """
+    if language not in LANGUAGES:
+        raise ValueError(f"unknown language {language!r}")
+    return f"{word}#{language}"

@@ -1,0 +1,254 @@
+"""An in-process stand-in for Google's distributed filesystem.
+
+The LF template library (Section 5.1) "handles all input and output to
+Google's distributed filesystem" so that engineers only write per-example
+logic. To reproduce that design we need a filesystem object with the
+semantics that MapReduce-era Google infrastructure provides and the
+templates rely on:
+
+* hierarchical paths under a namespace (``/ns/app/run-0/part-00003``),
+* *sharded file sets* addressed by a pattern (``...@16`` meaning 16 parts),
+* write-once semantics: writers stage data under a temporary name and
+  atomically ``finalize`` (rename) it, so readers never observe partial
+  files — this is what makes independently-scheduled LF binaries safe,
+* listing/globbing so the vote-joining step can discover LF outputs.
+
+Data lives in memory by default; a ``root`` directory can be supplied to
+spill bytes to local disk (used by the scale benchmarks so memory stays
+bounded).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import re
+import threading
+from typing import Iterable
+
+__all__ = [
+    "DistributedFileSystem",
+    "DFSError",
+    "FileNotFound",
+    "shard_name",
+    "shard_pattern",
+]
+
+
+class DFSError(Exception):
+    """Base error for distributed-filesystem operations."""
+
+
+class FileNotFound(DFSError):
+    """Raised when reading a path that does not exist."""
+
+
+_SHARD_RE = re.compile(r"^(?P<base>.*)@(?P<count>\d+)$")
+
+
+def shard_name(base: str, index: int, count: int) -> str:
+    """Canonical shard file name, e.g. ``part-00003-of-00016``.
+
+    >>> shard_name("/app/votes", 3, 16)
+    '/app/votes-00003-of-00016'
+    """
+    if not 0 <= index < count:
+        raise ValueError(f"shard index {index} out of range for {count} shards")
+    return f"{base}-{index:05d}-of-{count:05d}"
+
+
+def shard_pattern(base: str, count: int) -> list[str]:
+    """All shard names for a sharded file set."""
+    return [shard_name(base, i, count) for i in range(count)]
+
+
+def parse_sharded(path: str) -> tuple[str, int] | None:
+    """Parse ``base@N`` shard-set notation; return ``None`` for plain paths.
+
+    >>> parse_sharded("/app/votes@4")
+    ('/app/votes', 4)
+    >>> parse_sharded("/app/votes") is None
+    True
+    """
+    match = _SHARD_RE.match(path)
+    if match is None:
+        return None
+    return match.group("base"), int(match.group("count"))
+
+
+def _normalize(path: str) -> str:
+    if not path.startswith("/"):
+        raise DFSError(f"DFS paths must be absolute, got {path!r}")
+    # Collapse duplicate slashes; forbid relative components.
+    parts = [p for p in path.split("/") if p]
+    if any(p in (".", "..") for p in parts):
+        raise DFSError(f"relative components not allowed in {path!r}")
+    return "/" + "/".join(parts)
+
+
+class DistributedFileSystem:
+    """Thread-safe simulated distributed filesystem.
+
+    All mutating operations take an internal lock so that simulated
+    MapReduce workers running in threads can write shards concurrently,
+    mirroring the real system's independent writers.
+    """
+
+    def __init__(self, root: str | None = None) -> None:
+        self._lock = threading.Lock()
+        self._files: dict[str, bytes] = {}
+        self._staged: dict[str, bytearray] = {}
+        self._root = root
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # write path: stage -> append -> finalize
+    # ------------------------------------------------------------------
+    def create(self, path: str) -> None:
+        """Open a staged (temporary) file for writing."""
+        path = _normalize(path)
+        with self._lock:
+            if path in self._files:
+                raise DFSError(f"{path} already finalized; DFS files are immutable")
+            if path in self._staged:
+                raise DFSError(f"{path} already staged by another writer")
+            self._staged[path] = bytearray()
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append bytes to a staged file."""
+        path = _normalize(path)
+        with self._lock:
+            try:
+                self._staged[path].extend(data)
+            except KeyError:
+                raise DFSError(f"{path} is not staged for writing") from None
+
+    def finalize(self, path: str) -> None:
+        """Atomically publish a staged file (rename temp -> final)."""
+        path = _normalize(path)
+        with self._lock:
+            try:
+                data = bytes(self._staged.pop(path))
+            except KeyError:
+                raise DFSError(f"{path} is not staged for writing") from None
+            self._files[path] = data
+            if self._root is not None:
+                self._spill(path, data)
+
+    def abandon(self, path: str) -> None:
+        """Discard a staged file (a crashed writer's temp output)."""
+        path = _normalize(path)
+        with self._lock:
+            self._staged.pop(path, None)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Convenience: stage, write, and finalize in one call."""
+        self.create(path)
+        self.append(path, data)
+        self.finalize(path)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read_file(self, path: str) -> bytes:
+        """Read a finalized file. Staged files are invisible to readers."""
+        path = _normalize(path)
+        with self._lock:
+            try:
+                return self._files[path]
+            except KeyError:
+                raise FileNotFound(path) from None
+
+    def exists(self, path: str) -> bool:
+        path = _normalize(path)
+        with self._lock:
+            return path in self._files
+
+    def size(self, path: str) -> int:
+        return len(self.read_file(path))
+
+    def delete(self, path: str) -> None:
+        path = _normalize(path)
+        with self._lock:
+            if self._files.pop(path, None) is None:
+                raise FileNotFound(path)
+            if self._root is not None:
+                spill = self._spill_path(path)
+                if os.path.exists(spill):
+                    os.remove(spill)
+
+    # ------------------------------------------------------------------
+    # namespace operations
+    # ------------------------------------------------------------------
+    def list(self, prefix: str) -> list[str]:
+        """List finalized files under a path prefix, sorted."""
+        prefix = _normalize(prefix)
+        with self._lock:
+            return sorted(
+                p for p in self._files
+                if p == prefix or p.startswith(prefix.rstrip("/") + "/")
+                or p.startswith(prefix)
+            )
+
+    def glob(self, pattern: str) -> list[str]:
+        """Glob finalized files, supporting ``*``/``?`` and ``base@N``."""
+        sharded = parse_sharded(pattern)
+        if sharded is not None:
+            base, count = sharded
+            names = shard_pattern(_normalize(base), count)
+            missing = [n for n in names if not self.exists(n)]
+            if missing:
+                raise FileNotFound(
+                    f"shard set {pattern} incomplete; missing {missing[:3]}"
+                )
+            return names
+        pattern = _normalize(pattern)
+        with self._lock:
+            return sorted(p for p in self._files if fnmatch.fnmatch(p, pattern))
+
+    def delete_recursive(self, prefix: str) -> int:
+        """Delete every finalized file under a prefix; returns count."""
+        paths = self.list(prefix)
+        for path in paths:
+            self.delete(path)
+        return len(paths)
+
+    # ------------------------------------------------------------------
+    # disk spill (optional persistence)
+    # ------------------------------------------------------------------
+    def _spill_path(self, path: str) -> str:
+        assert self._root is not None
+        return os.path.join(self._root, path.lstrip("/").replace("/", "__"))
+
+    def _spill(self, path: str, data: bytes) -> None:
+        spill = self._spill_path(path)
+        with open(spill, "wb") as handle:
+            handle.write(data)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._files.values())
+
+    def file_count(self) -> int:
+        with self._lock:
+            return len(self._files)
+
+    def staged_paths(self) -> list[str]:
+        with self._lock:
+            return sorted(self._staged)
+
+    def copy_tree(self, src_prefix: str, dst_prefix: str) -> list[str]:
+        """Copy every file under ``src_prefix`` to ``dst_prefix``."""
+        src_prefix = _normalize(src_prefix)
+        dst_prefix = _normalize(dst_prefix)
+        copied = []
+        for path in self.list(src_prefix):
+            rel = path[len(src_prefix):]
+            dst = dst_prefix + rel
+            self.write_file(dst, self.read_file(path))
+            copied.append(dst)
+        return copied

@@ -1,0 +1,39 @@
+"""End discriminative models (Sections 5.3 and 6.1).
+
+The probabilistic training labels produced by the generative model train
+an end classifier over servable features:
+
+* :class:`NoiseAwareLogisticRegression` — the content-classification
+  model: logistic regression trained with the FTRL optimizer
+  ("the FTLR optimization algorithm [22], a variant of stochastic
+  gradient descent that tunes per-coordinate learning rates, with an
+  initial step size of 0.2 ... All experiments use a batch size of 64").
+* :class:`NoiseAwareMLP` — the events-application model: a deep neural
+  network over real-time event-level features.
+* :mod:`repro.discriminative.metrics` — precision/recall/F1 plus the
+  relative normalization the paper reports everything in.
+"""
+
+from repro.discriminative.ftrl import FTRLProximal
+from repro.discriminative.logistic import NoiseAwareLogisticRegression
+from repro.discriminative.dnn import NoiseAwareMLP
+from repro.discriminative.metrics import (
+    BinaryMetrics,
+    binary_metrics,
+    pr_curve,
+    average_precision,
+    relative_metrics,
+    score_histogram,
+)
+
+__all__ = [
+    "FTRLProximal",
+    "NoiseAwareLogisticRegression",
+    "NoiseAwareMLP",
+    "BinaryMetrics",
+    "binary_metrics",
+    "pr_curve",
+    "average_precision",
+    "relative_metrics",
+    "score_histogram",
+]

@@ -1,0 +1,28 @@
+"""Experiment harness reproducing every table and figure in Section 6.
+
+Each ``tableN``/``figureN`` module exposes a ``run(scale, seed)`` function
+returning a :class:`repro.experiments.harness.ExperimentResult` whose
+``text`` is the rendered table (paper value vs measured value); the
+benchmark suite under ``benchmarks/`` times the underlying computations
+and tees the tables to ``results/``.
+
+Shared state (datasets, label matrices, trained models) is cached per
+``(task, scale, seed)`` in :mod:`repro.experiments.harness`, so running
+all benchmarks in one session costs one end-to-end pipeline per task.
+"""
+
+from repro.experiments.harness import (
+    ContentExperiment,
+    EventsExperiment,
+    ExperimentResult,
+    get_content_experiment,
+    get_events_experiment,
+)
+
+__all__ = [
+    "ContentExperiment",
+    "EventsExperiment",
+    "ExperimentResult",
+    "get_content_experiment",
+    "get_events_experiment",
+]

@@ -1,0 +1,99 @@
+"""Figure 5: trade-off between weak supervision and hand-labeled data.
+
+"We train the discriminative classifier for each content classification
+task on increasingly large hand-labeled training sets ... On the topic
+classification task, we find that it takes roughly 80K hand-labeled
+examples to match the predictive accuracy of the weakly supervised
+classifier. On the product classification task, we find that it takes
+roughly 12K."
+
+The reproduction sweeps hand-label counts (simulated by revealing gold
+labels for a pool prefix), reports each point's F1 relative to the
+dev-set baseline, plots the DryBell line, and locates the crossover by
+linear interpolation. At reduced scale the crossover lands at a smaller
+absolute count; the shape to reproduce is (a) a rising supervised curve
+and (b) a crossover inside the swept range for both tasks, with topic's
+crossover at a larger fraction of its pool than product's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED
+from repro.experiments.harness import ExperimentResult, get_content_experiment
+
+__all__ = ["run", "sweep_sizes", "PAPER_CROSSOVER"]
+
+PAPER_CROSSOVER = {"topic": 80_000, "product": 12_000}
+
+
+def sweep_sizes(task: str, pool_size: int, full_scale: bool) -> list[int]:
+    """Hand-label counts to sweep, spanning the Figure 5 x-axis range."""
+    if full_scale:
+        if task == "topic":
+            return [25_000, 45_000, 65_000, 85_000, 105_000, 125_000, 145_000]
+        return [7_000, 9_500, 12_000, 14_500, 17_000]
+    fractions = (
+        [0.02, 0.08, 0.25, 0.60, 1.00]
+        if task == "topic"
+        else [0.01, 0.04, 0.12, 0.35]
+    )
+    return [max(200, int(f * pool_size)) for f in fractions]
+
+
+def _crossover(sizes: list[int], f1s: list[float], target: float) -> float | None:
+    """First x where the supervised curve crosses the DryBell line."""
+    for (x0, y0), (x1, y1) in zip(zip(sizes, f1s), zip(sizes[1:], f1s[1:])):
+        if y0 < target <= y1:
+            if y1 == y0:
+                return float(x1)
+            return float(x0 + (target - y0) * (x1 - x0) / (y1 - y0))
+    if f1s and f1s[0] >= target:
+        return float(sizes[0])
+    return None
+
+
+def run(scale: str | None = None, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    rows = []
+    lines = ["Figure 5: hand-labeled-data trade-off (relative F1 vs baseline)"]
+    for task in ("topic", "product"):
+        exp = get_content_experiment(task, scale, seed)
+        pool = len(exp.dataset.unlabeled)
+        sizes = [s for s in sweep_sizes(task, pool, exp.scale.is_full) if s <= pool]
+        drybell_f1 = exp.relative(exp.drybell_metrics)["f1"]
+
+        points = []
+        for n in sizes:
+            rel = exp.relative(exp.hand_label_metrics(n))
+            points.append((n, rel["f1"]))
+        crossover = _crossover(
+            [p[0] for p in points], [p[1] for p in points], drybell_f1
+        )
+        rows.append(
+            {
+                "task": task,
+                "drybell_relative_f1": drybell_f1,
+                "points": points,
+                "crossover_labels": crossover,
+                "pool_size": pool,
+                "paper_crossover_labels": PAPER_CROSSOVER[task],
+            }
+        )
+        lines += ["", f"== {exp.dataset.task} (pool {pool}) ==",
+                  f"Snorkel DryBell line: relative F1 = {drybell_f1:.1f}%"]
+        for n, f1 in points:
+            marker = " <-- crosses DryBell" if crossover and n >= crossover and (
+                points.index((n, f1)) == 0
+                or points[points.index((n, f1)) - 1][1] < drybell_f1
+            ) else ""
+            lines.append(f"  {n:>8} hand labels: relative F1 = {f1:6.1f}%{marker}")
+        if crossover is None:
+            lines.append("  crossover: not reached inside the swept range")
+        else:
+            lines.append(
+                f"  crossover at ~{crossover:,.0f} hand labels "
+                f"({100 * crossover / pool:.1f}% of pool; paper: "
+                f"~{PAPER_CROSSOVER[task]:,} labels at full scale)"
+            )
+    return ExperimentResult("figure5_tradeoff", "\n".join(lines), rows)

@@ -1,0 +1,85 @@
+"""Figure 6: score distributions of the events DNN.
+
+"We compare a histogram of the predicted probabilities ('scores') of an
+event using a model trained with a baseline Logical-OR approach ... and
+trained using Snorkel DryBell's output ... the baseline approach
+results in greatly over-estimating the score of events, whereas the
+model trained using Snorkel DryBell produces a smoother distribution."
+
+Shape to reproduce: the Logical-OR-trained DNN piles mass at the extreme
+score bins (its targets are hard 0/1 labels and the OR over 140 sources
+is mostly wrong about certainty), while the DryBell-trained DNN spreads
+scores smoothly. We render ASCII histograms and report tail-mass and
+entropy statistics that quantify "smoother".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED
+from repro.discriminative.metrics import score_histogram
+from repro.experiments.harness import ExperimentResult, get_events_experiment
+
+__all__ = ["run", "distribution_stats"]
+
+
+def distribution_stats(scores: np.ndarray, bins: int = 20) -> dict[str, float]:
+    """Summary statistics for a score distribution."""
+    counts, _ = score_histogram(scores, bins=bins)
+    total = counts.sum()
+    probs = counts / max(total, 1)
+    nonzero = probs[probs > 0]
+    entropy = float(-(nonzero * np.log(nonzero)).sum())
+    extreme_mass = float(probs[0] + probs[-1])
+    return {
+        "entropy_nats": entropy,
+        "extreme_bin_mass": extreme_mass,
+        "mean_score": float(scores.mean()),
+        "mass_above_0.9": float((scores > 0.9).mean()),
+        "mass_above_0.7": float((scores > 0.7).mean()),
+        "occupied_bins": int((counts > 0).sum()),
+    }
+
+
+def _ascii_histogram(scores: np.ndarray, bins: int = 20, width: int = 40) -> list[str]:
+    counts, edges = score_histogram(scores, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  [{edges[i]:.2f},{edges[i+1]:.2f}) {count:>6} {bar}")
+    return lines
+
+
+def run(scale: str | None = None, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    exp = get_events_experiment(scale, seed)
+    s_or = exp.scores_logical_or
+    s_db = exp.scores_drybell
+    stats_or = distribution_stats(s_or)
+    stats_db = distribution_stats(s_db)
+
+    lines = ["Figure 6: events-DNN score distributions", ""]
+    lines.append("Logical-OR-trained DNN scores:")
+    lines += _ascii_histogram(s_or)
+    lines.append("")
+    lines.append("Snorkel DryBell-trained DNN scores:")
+    lines += _ascii_histogram(s_db)
+    lines += [
+        "",
+        f"{'':<24} {'Logical-OR':>12} {'DryBell':>12}",
+        f"{'mean score':<24} {stats_or['mean_score']:>12.3f} "
+        f"{stats_db['mean_score']:>12.3f}",
+        f"{'mass above 0.7':<24} {stats_or['mass_above_0.7']:>12.3f} "
+        f"{stats_db['mass_above_0.7']:>12.3f}",
+        f"{'mass above 0.9':<24} {stats_or['mass_above_0.9']:>12.3f} "
+        f"{stats_db['mass_above_0.9']:>12.3f}",
+        f"{'entropy (nats)':<24} {stats_or['entropy_nats']:>12.3f} "
+        f"{stats_db['entropy_nats']:>12.3f}",
+        "",
+        "shape check (paper Figure 6): the Logical-OR model greatly",
+        "over-estimates event scores (mass piled at high values); the",
+        "DryBell model's distribution is smoother and lower.",
+    ]
+    rows = [{"logical_or": stats_or, "drybell": stats_db}]
+    return ExperimentResult("figure6_scores", "\n".join(lines), rows)

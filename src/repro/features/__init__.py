@@ -1,0 +1,25 @@
+"""Feature views and extractors.
+
+Section 4's cross-feature serving hinges on keeping two feature views of
+the same example rigorously separate: the *non-servable* view feeds
+labeling functions at development time, the *servable* view feeds the
+deployed discriminative model. :class:`FeatureView` names the views,
+featurizers declare which one they read, and the serving layer refuses to
+load a non-servable featurizer.
+"""
+
+from repro.features.spec import FeatureView, NonServableAccessError, FeaturizerSpec
+from repro.features.extractors import (
+    HashedTextFeaturizer,
+    EventFeaturizer,
+    DictVectorFeaturizer,
+)
+
+__all__ = [
+    "FeatureView",
+    "NonServableAccessError",
+    "FeaturizerSpec",
+    "HashedTextFeaturizer",
+    "EventFeaturizer",
+    "DictVectorFeaturizer",
+]

@@ -1,0 +1,44 @@
+"""Feature-view declarations and the servability boundary.
+
+"Organizational knowledge is often present in non-servable form factors,
+i.e., too slow, expensive, or private to be used in production"
+(Section 1). The discriminative model must therefore be trained over a
+*servable* feature set. We enforce the boundary in code: every featurizer
+carries a :class:`FeaturizerSpec`, and anything marked non-servable is
+rejected by :class:`repro.serving.server.ProductionServer`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["FeatureView", "FeaturizerSpec", "NonServableAccessError"]
+
+
+class FeatureView(enum.Enum):
+    """Which side of the servability boundary a featurizer reads."""
+
+    SERVABLE = "servable"
+    NON_SERVABLE = "non_servable"
+    RAW_CONTENT = "raw_content"
+    """Raw content (title/body text) — available at serving time; the
+    paper's TFX models may operate "on the 'raw' content" (Section 5.3)."""
+
+
+@dataclass(frozen=True)
+class FeaturizerSpec:
+    """Identity and servability contract for a featurizer."""
+
+    name: str
+    view: FeatureView
+    dimension: int
+    latency_ms_per_example: float = 0.05
+
+    @property
+    def servable(self) -> bool:
+        return self.view in (FeatureView.SERVABLE, FeatureView.RAW_CONTENT)
+
+
+class NonServableAccessError(RuntimeError):
+    """Raised when the serving path touches a non-servable resource."""

@@ -1,0 +1,42 @@
+"""The labeling-function template library (Section 5.1).
+
+The paper ships "a library of templated C++ classes" whose goal "is to
+abstract away the repeated development of code for reading and writing to
+Google's distributed filesystem, and for executing MapReduce pipelines".
+Engineers "write only simple main files that define the function(s) that
+computes the labeling function's vote for an individual example".
+
+The Python reproduction keeps the same three-level shape:
+
+* :class:`AbstractLabelingFunction` — owns all DFS I/O and the MapReduce
+  pipeline definition; subclasses fill in template slots.
+* :class:`LabelingFunction` — the default pipeline: a user function from
+  example to vote, with optional offline resources (topic model, KG, ...).
+* :class:`NLPLabelingFunction` — the model-server pipeline: launches an
+  NLP server per compute node; users supply ``get_text`` and ``get_value``
+  exactly as in the paper's code listing.
+
+:mod:`repro.lf.templates` provides the factory helpers for the recurring
+weak-supervision patterns in Section 3 (keyword, URL, topic-model,
+knowledge-graph, model-score heuristics), and :class:`LFApplier` executes
+a set of LF binaries over a DFS-resident corpus and joins their votes
+into a :class:`repro.types.LabelMatrix`.
+"""
+
+from repro.lf.registry import LFCategory, LFInfo, LFRegistry
+from repro.lf.base import AbstractLabelingFunction, LFRunResult
+from repro.lf.default import LabelingFunction
+from repro.lf.nlp import NLPLabelingFunction
+from repro.lf.applier import LFApplier, apply_lfs_in_memory
+
+__all__ = [
+    "LFCategory",
+    "LFInfo",
+    "LFRegistry",
+    "AbstractLabelingFunction",
+    "LFRunResult",
+    "LabelingFunction",
+    "NLPLabelingFunction",
+    "LFApplier",
+    "apply_lfs_in_memory",
+]

@@ -1,0 +1,177 @@
+"""``AbstractLabelingFunction``: the root of the template library.
+
+Section 5.1: "We achieve this by implementing an AbstractLabelingFunction
+class that handles all input and output to Google's distributed
+filesystem. Each subclass defines a MapReduce pipeline, with class
+template slots for functions to be executed within the pipeline."
+
+The reproduction follows the same contract:
+
+* :meth:`run` is the whole "labeling function binary": it reads example
+  records from the DFS, executes the subclass-defined MapReduce pipeline,
+  and writes one vote record per non-abstaining example to its own
+  sharded output — LFs never share state except through the filesystem
+  (Section 5.4's loosely-coupled design).
+* Subclasses override :meth:`_node_service_factory` (which model server,
+  if any, to launch per compute node) and :meth:`_vote` (the per-example
+  slot an engineer writes).
+
+Vote records have the shape ``{"key": example_id, "value": vote}`` with
+``vote in {-1, +1}`` (abstains are simply not written; the join treats
+missing ids as abstain, exactly like sparse vote files at Google scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.mapreduce.runner import MapContext, MapReduceJob, MapReduceSpec
+from repro.lf.registry import LFInfo
+from repro.services.base import ModelServer
+from repro.types import ABSTAIN, Example
+
+__all__ = ["AbstractLabelingFunction", "LFRunResult"]
+
+
+@dataclass
+class LFRunResult:
+    """Outcome of executing one labeling-function binary."""
+
+    lf_name: str
+    output_paths: list[str]
+    examples_seen: int
+    votes_emitted: int
+    positives: int
+    negatives: int
+    abstains: int
+    wall_seconds: float
+    nodes_used: int
+    virtual_service_ms: float = 0.0
+
+    @property
+    def coverage(self) -> float:
+        if self.examples_seen == 0:
+            return 0.0
+        return self.votes_emitted / self.examples_seen
+
+
+class AbstractLabelingFunction:
+    """Base class handling DFS I/O and MapReduce execution."""
+
+    def __init__(self, info: LFInfo) -> None:
+        self.info = info
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    # ------------------------------------------------------------------
+    # template slots
+    # ------------------------------------------------------------------
+    def _node_service_factory(self) -> Callable[[], ModelServer] | None:
+        """Return a factory for the per-node model server, or ``None``.
+
+        The default pipeline launches no additional services; the NLP
+        pipeline overrides this (Section 5.1).
+        """
+        return None
+
+    def _vote(self, example: Example, service: ModelServer | None) -> int:
+        """Compute the LF's vote for one example (the engineer's code)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # execution = one MapReduce job over the example shards
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        dfs: DistributedFileSystem,
+        input_paths: Sequence[str],
+        output_base: str,
+        parallelism: int = 1,
+        tasks_per_node: int = 4,
+        fail_injector: Callable[[int, int], None] | None = None,
+    ) -> LFRunResult:
+        """Execute this LF over example record files; write vote shards."""
+
+        def mapper(ctx: MapContext, record: dict) -> None:
+            example = Example.from_record(record)
+            service = ctx.service if ctx.has_service else None
+            vote = self._vote(example, service)
+            if vote not in (-1, 0, 1):
+                raise ValueError(
+                    f"labeling function {self.name!r} returned invalid vote "
+                    f"{vote!r} (must be -1, 0, or +1)"
+                )
+            ctx.counters.increment("examples_seen")
+            if vote == ABSTAIN:
+                ctx.counters.increment("abstains")
+                return
+            ctx.counters.increment("positives" if vote > 0 else "negatives")
+            ctx.emit(example.example_id, vote)
+
+        spec = MapReduceSpec(
+            name=f"lf/{self.name}",
+            input_paths=list(input_paths),
+            output_base=output_base,
+            mapper=mapper,
+            reducer=None,
+            parallelism=parallelism,
+            tasks_per_node=tasks_per_node,
+            node_setup=self._node_service_factory(),
+            fail_injector=fail_injector,
+        )
+        result = MapReduceJob(dfs, spec).run()
+        counters = result.counters
+        return LFRunResult(
+            lf_name=self.name,
+            output_paths=result.output_paths,
+            examples_seen=counters.value("examples_seen"),
+            votes_emitted=result.records_out,
+            positives=counters.value("positives"),
+            negatives=counters.value("negatives"),
+            abstains=counters.value("abstains"),
+            wall_seconds=result.wall_seconds,
+            nodes_used=result.node_count,
+        )
+
+    # ------------------------------------------------------------------
+    # fast path used by the experiment harness
+    # ------------------------------------------------------------------
+    def vote_in_memory(self, example: Example) -> int:
+        """Vote on one in-memory example, managing any service locally.
+
+        Benchmarks label hundreds of thousands of examples; going through
+        DFS + MapReduce for each sweep would measure the simulator, not
+        the method. The integration tests assert this fast path agrees
+        with :meth:`run` exactly.
+        """
+        factory = self._node_service_factory()
+        if factory is None:
+            return self._vote(example, None)
+        service = self._ensure_local_service(factory)
+        return self._vote(example, service)
+
+    _local_service: ModelServer | None = None
+
+    def _ensure_local_service(
+        self, factory: Callable[[], ModelServer]
+    ) -> ModelServer:
+        if self._local_service is None:
+            self._local_service = factory()
+            self._local_service.start()
+        return self._local_service
+
+    def close_local_service(self) -> None:
+        if self._local_service is not None:
+            self._local_service.stop()
+            self._local_service = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"category={self.info.category.value!r}, "
+            f"servable={self.info.servable})"
+        )

@@ -1,0 +1,64 @@
+"""The default labeling-function pipeline.
+
+Section 5.1: "The first pipeline is a default pipeline that does not
+launch any additional services; it simply executes a user-defined function
+... This class meets the needs of many use cases, such as content
+heuristics, model-based heuristics for models that are executed offline as
+part of data collection such as semantic categorization, and graph-based
+heuristics that can query a knowledge graph offline."
+
+A :class:`LabelingFunction` wraps a plain ``Example -> vote`` callable.
+Offline resources it queries (the topic model, the knowledge graph, the
+aggregate store) are declared via ``resources`` so the applier can bring
+them up for the duration of a run — the lifecycle bug of calling a
+stopped service is surfaced loudly by :class:`repro.services.ModelServer`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.lf.base import AbstractLabelingFunction
+from repro.lf.registry import LFInfo
+from repro.services.base import ModelServer
+from repro.types import Example
+
+__all__ = ["LabelingFunction"]
+
+
+class LabelingFunction(AbstractLabelingFunction):
+    """Default pipeline: a user function, no per-node services."""
+
+    def __init__(
+        self,
+        info: LFInfo,
+        fn: Callable[[Example], int],
+        resources: Sequence[ModelServer] = (),
+    ) -> None:
+        super().__init__(info)
+        self._fn = fn
+        self.resources = list(resources)
+
+    def _vote(self, example: Example, service: ModelServer | None) -> int:
+        # The default pipeline's template slot has no service argument in
+        # the paper; `service` is always None here.
+        return self._fn(example)
+
+    # ------------------------------------------------------------------
+    # offline resource lifecycle (managed by the applier)
+    # ------------------------------------------------------------------
+    def start_resources(self) -> None:
+        for resource in self.resources:
+            resource.start()
+
+    def stop_resources(self) -> None:
+        for resource in self.resources:
+            resource.stop()
+
+    def vote_in_memory(self, example: Example) -> int:
+        # Offline resources are started lazily for ad-hoc in-memory use;
+        # bulk paths call start_resources()/stop_resources() around runs.
+        for resource in self.resources:
+            if not resource.running:
+                resource.start()
+        return self._fn(example)

@@ -1,0 +1,356 @@
+"""Factory helpers for the recurring weak-supervision patterns.
+
+Section 3 catalogues the labeling-function types used across the three
+Google applications: keyword and pattern heuristics over content,
+URL-based source heuristics, topic-model vetoes, Knowledge-Graph keyword
+translations, internal-model score thresholds, crawler-derived signals,
+and aggregate-statistic thresholds. Each factory here returns a
+:class:`repro.lf.default.LabelingFunction` wired with the right metadata
+(category, servability, resources) so registries, the Figure 2 census,
+and the Table 3 ablation all see a consistent inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.lf.default import LabelingFunction
+from repro.lf.registry import LFCategory, LFInfo
+from repro.services.aggregates import AggregateStore
+from repro.services.knowledge_graph import KnowledgeGraph
+from repro.services.nlp_server import tokenize
+from repro.services.topic_model import TopicModel
+from repro.services.web_crawler import WebCrawler
+from repro.types import ABSTAIN, Example
+
+__all__ = [
+    "keyword_lf",
+    "url_domain_lf",
+    "pattern_lf",
+    "topic_model_lf",
+    "kg_translation_lf",
+    "kg_category_lf",
+    "model_score_lf",
+    "crawler_lf",
+    "aggregate_threshold_lf",
+]
+
+
+def _text_of(example: Example, fields: Sequence[str]) -> str:
+    return " ".join(str(example.fields.get(f, "")) for f in fields)
+
+
+def _contains_any(text: str, surfaces: Iterable[str]) -> bool:
+    tokens = set(t.lower() for t in tokenize(text))
+    lowered = None
+    for surface in surfaces:
+        surface = surface.lower()
+        if " " in surface:
+            if lowered is None:
+                lowered = " ".join(t.lower() for t in tokenize(text))
+            if surface in lowered:
+                return True
+        elif surface in tokens:
+            return True
+    return False
+
+
+def keyword_lf(
+    name: str,
+    keywords: Iterable[str],
+    vote: int,
+    fields: Sequence[str] = ("title", "body"),
+    min_hits: int = 1,
+    description: str = "",
+) -> LabelingFunction:
+    """Vote when at least ``min_hits`` keywords appear in the content.
+
+    Keyword heuristics run on raw content, which is available at serving
+    time — they are the archetypal *servable* LF (Table 3's "Servable
+    LFs" arm is exactly these pattern-based rules).
+    """
+    surfaces = [k.lower() for k in keywords]
+    if not surfaces:
+        raise ValueError(f"keyword LF {name!r} needs at least one keyword")
+
+    def fn(example: Example) -> int:
+        text = _text_of(example, fields)
+        if min_hits <= 1:
+            return vote if _contains_any(text, surfaces) else ABSTAIN
+        tokens = set(t.lower() for t in tokenize(text))
+        hits = sum(1 for s in surfaces if s in tokens)
+        return vote if hits >= min_hits else ABSTAIN
+
+    info = LFInfo(
+        name=name,
+        category=LFCategory.CONTENT_HEURISTIC,
+        servable=True,
+        description=description or f"keyword match -> {vote:+d}",
+    )
+    return LabelingFunction(info, fn)
+
+
+def url_domain_lf(
+    name: str,
+    domains: Iterable[str],
+    vote: int,
+    description: str = "",
+) -> LabelingFunction:
+    """Vote based on the linked URL's domain (Section 3.1 "URL-based").
+
+    The URL string itself is a cheap servable signal; heuristics that need
+    *crawled* URL content are built with :func:`crawler_lf` instead.
+    """
+    domain_set = frozenset(d.lower() for d in domains)
+
+    def fn(example: Example) -> int:
+        url = str(example.fields.get("url", ""))
+        if not url:
+            return ABSTAIN
+        from repro.services.web_crawler import domain_of
+
+        return vote if domain_of(url) in domain_set else ABSTAIN
+
+    info = LFInfo(
+        name=name,
+        category=LFCategory.SOURCE_HEURISTIC,
+        servable=True,
+        description=description or f"url domain in list -> {vote:+d}",
+    )
+    return LabelingFunction(info, fn)
+
+
+def pattern_lf(
+    name: str,
+    predicate: Callable[[Example], bool],
+    vote: int,
+    category: LFCategory = LFCategory.CONTENT_HEURISTIC,
+    servable: bool = True,
+    description: str = "",
+) -> LabelingFunction:
+    """Generic predicate heuristic: vote when the predicate holds."""
+
+    def fn(example: Example) -> int:
+        return vote if predicate(example) else ABSTAIN
+
+    info = LFInfo(
+        name=name,
+        category=category,
+        servable=servable,
+        description=description or f"predicate -> {vote:+d}",
+    )
+    return LabelingFunction(info, fn)
+
+
+def topic_model_lf(
+    name: str,
+    topic_model: TopicModel,
+    veto_categories: Iterable[str],
+    vote: int = -1,
+    fields: Sequence[str] = ("title", "body"),
+    description: str = "",
+) -> LabelingFunction:
+    """Use the coarse internal topic model as a negative heuristic.
+
+    Section 3.1: the topic model's categorizations are "far too
+    coarse-grained for the targeted task at hand, but ... could be used as
+    effective negative labeling heuristics" — vote (default NEGATIVE) when
+    the argmax category is in the veto set.
+    """
+    veto = frozenset(c.lower() for c in veto_categories)
+
+    def fn(example: Example) -> int:
+        top = topic_model.top_category(_text_of(example, fields))
+        if top is not None and top.lower() in veto:
+            return vote
+        return ABSTAIN
+
+    info = LFInfo(
+        name=name,
+        category=LFCategory.MODEL_BASED,
+        servable=False,
+        description=description or "coarse topic model veto",
+        resources=("topic-model",),
+    )
+    return LabelingFunction(info, fn, resources=[topic_model])
+
+
+def kg_translation_lf(
+    name: str,
+    kg: KnowledgeGraph,
+    keywords: Iterable[str],
+    languages: Iterable[str],
+    vote: int = 1,
+    fields: Sequence[str] = ("title", "body"),
+    description: str = "",
+) -> LabelingFunction:
+    """Match Knowledge-Graph keyword translations (Section 3.2).
+
+    "we queried Google's Knowledge Graph for translations of keywords in
+    ten languages" — the surface set is the translation closure of the
+    keyword list, computed once per run when the resource starts.
+    """
+    keyword_list = list(keywords)
+    language_list = list(languages)
+    cache: dict[str, frozenset[str]] = {}
+
+    def fn(example: Example) -> int:
+        if "surfaces" not in cache:
+            cache["surfaces"] = frozenset(
+                kg.translation_closure(keyword_list, language_list)
+            )
+        text = _text_of(example, fields)
+        return vote if _contains_any(text, cache["surfaces"]) else ABSTAIN
+
+    info = LFInfo(
+        name=name,
+        category=LFCategory.GRAPH_BASED,
+        servable=False,
+        description=description
+        or f"KG translations of {len(keyword_list)} keywords, "
+        f"{len(language_list)} languages",
+        resources=("knowledge-graph",),
+    )
+    return LabelingFunction(info, fn, resources=[kg])
+
+
+def kg_category_lf(
+    name: str,
+    kg: KnowledgeGraph,
+    category: str,
+    vote: int = 1,
+    include_accessories: bool = True,
+    fields: Sequence[str] = ("title", "body"),
+    description: str = "",
+) -> LabelingFunction:
+    """Match products the Knowledge Graph files under a category."""
+    cache: dict[str, frozenset[str]] = {}
+
+    def fn(example: Example) -> int:
+        if "surfaces" not in cache:
+            cache["surfaces"] = frozenset(
+                kg.products_in_category(category, include_accessories)
+            )
+        text = _text_of(example, fields)
+        return vote if _contains_any(text, cache["surfaces"]) else ABSTAIN
+
+    info = LFInfo(
+        name=name,
+        category=LFCategory.GRAPH_BASED,
+        servable=False,
+        description=description or f"KG products under {category!r}",
+        resources=("knowledge-graph",),
+    )
+    return LabelingFunction(info, fn, resources=[kg])
+
+
+def model_score_lf(
+    name: str,
+    field: str,
+    threshold: float,
+    vote: int,
+    above: bool = True,
+    view: str = "non_servable",
+    description: str = "",
+) -> LabelingFunction:
+    """Threshold the score of an existing internal model.
+
+    Section 3.3: "Several smaller models that had previously been
+    developed over various feature sets were also used as weak labelers."
+    The score is read from the example's servable or non-servable feature
+    view; scores computed by expensive offline inference live in the
+    non-servable view (the default).
+    """
+    if view not in ("servable", "non_servable"):
+        raise ValueError(f"view must be servable|non_servable, got {view!r}")
+
+    def fn(example: Example) -> int:
+        source = example.servable if view == "servable" else example.non_servable
+        value = source.get(field)
+        if value is None:
+            return ABSTAIN
+        crosses = value >= threshold if above else value <= threshold
+        return vote if crosses else ABSTAIN
+
+    info = LFInfo(
+        name=name,
+        category=LFCategory.MODEL_BASED,
+        servable=(view == "servable"),
+        description=description
+        or f"{field} {'>=' if above else '<='} {threshold} -> {vote:+d}",
+    )
+    return LabelingFunction(info, fn)
+
+
+def crawler_lf(
+    name: str,
+    crawler: WebCrawler,
+    target_categories: Iterable[str],
+    vote: int,
+    min_quality: float = 0.0,
+    description: str = "",
+) -> LabelingFunction:
+    """Vote from crawled page profiles (high-latency, non-servable)."""
+    targets = frozenset(c.lower() for c in target_categories)
+
+    def fn(example: Example) -> int:
+        url = str(example.fields.get("url", ""))
+        if not url:
+            return ABSTAIN
+        result = crawler.crawl(url)
+        if not result.reachable or result.site_category is None:
+            return ABSTAIN
+        if result.site_category.lower() in targets and result.quality_score >= min_quality:
+            return vote
+        return ABSTAIN
+
+    info = LFInfo(
+        name=name,
+        category=LFCategory.SOURCE_HEURISTIC,
+        servable=False,
+        description=description or "crawled site profile",
+        resources=("web-crawler",),
+    )
+    return LabelingFunction(info, fn, resources=[crawler])
+
+
+def aggregate_threshold_lf(
+    name: str,
+    store: AggregateStore,
+    stat: str,
+    threshold: float,
+    vote: int,
+    above: bool = True,
+    key_field: str = "source_id",
+    category: LFCategory = LFCategory.OTHER_HEURISTIC,
+    description: str = "",
+) -> LabelingFunction:
+    """Threshold an offline aggregate statistic for the event's source.
+
+    The incumbent approach for real-time events (Section 3.3) classifies
+    "based on offline (or non-servable) features such as aggregate
+    statistics"; these heuristics become weak labelers in DryBell.
+    """
+
+    def fn(example: Example) -> int:
+        key = str(example.fields.get(key_field, ""))
+        if not key:
+            return ABSTAIN
+        row = store.lookup(key)
+        if row is None:
+            return ABSTAIN
+        value = row.stats.get(stat)
+        if value is None:
+            return ABSTAIN
+        crosses = value >= threshold if above else value <= threshold
+        return vote if crosses else ABSTAIN
+
+    info = LFInfo(
+        name=name,
+        category=category,
+        servable=False,
+        description=description
+        or f"aggregate {stat} {'>=' if above else '<='} {threshold}",
+        resources=("aggregate-store",),
+    )
+    return LabelingFunction(info, fn, resources=[store])

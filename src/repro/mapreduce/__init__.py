@@ -1,0 +1,35 @@
+"""Simulated MapReduce substrate.
+
+Deploying Snorkel at Google "required decoupling and redesigning the
+labeling function execution and generative modeling components of the
+pipeline around a template library and distributed compute environment"
+(Section 5). The LF templates each *define a MapReduce pipeline*, and the
+NLP pipeline "uses Google's MapReduce framework to launch a model server
+on each compute node" (Section 5.1).
+
+This package reproduces the slice of MapReduce those templates need:
+
+* shard-parallel map over DFS record files,
+* deterministic hash shuffle and sorted reduce,
+* per-node lifecycle hooks (where model servers start/stop),
+* counters, retry-on-worker-failure, and thread-pool parallelism.
+"""
+
+from repro.mapreduce.counters import CounterSet
+from repro.mapreduce.runner import (
+    MapReduceJob,
+    MapReduceResult,
+    MapReduceSpec,
+    WorkerFailure,
+)
+from repro.mapreduce.service import NodeService, NodeServicePool
+
+__all__ = [
+    "CounterSet",
+    "MapReduceJob",
+    "MapReduceResult",
+    "MapReduceSpec",
+    "WorkerFailure",
+    "NodeService",
+    "NodeServicePool",
+]

@@ -1,0 +1,62 @@
+"""MapReduce counters.
+
+Google MapReduce exposes named counters aggregated across workers; the LF
+templates use them to report votes emitted, abstains, and model-server
+calls. Counters are the primary observability channel for labeling-function
+runs in this reproduction (surfaced by ``repro.lf.applier``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Iterable, Mapping
+
+__all__ = ["CounterSet"]
+
+
+class CounterSet:
+    """A thread-safe bag of named integer counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Counter[str] = Counter()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counter increments must be non-negative")
+        with self._lock:
+            self._counts[name] += amount
+
+    def value(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def merge(self, other: "CounterSet") -> None:
+        """Fold another worker's counters into this set."""
+        with other._lock:
+            snapshot = dict(other._counts)
+        with self._lock:
+            self._counts.update(snapshot)
+
+    def merge_mapping(self, mapping: Mapping[str, int]) -> None:
+        with self._lock:
+            self._counts.update(mapping)
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterSet({self.as_dict()!r})"
+
+    @classmethod
+    def merged(cls, parts: Iterable["CounterSet"]) -> "CounterSet":
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total

@@ -1,0 +1,292 @@
+"""The MapReduce engine.
+
+A :class:`MapReduceSpec` describes a job the way the paper's C++ templates
+do: input record files on the distributed filesystem, a mapper, an optional
+reducer, per-node setup/teardown hooks (this is where
+``NLPLabelingFunction`` starts its model server), and an output path.
+
+Execution model
+---------------
+* Each *input shard* (one DFS record file) is a map task.
+* Map tasks are grouped onto simulated *compute nodes*; every node runs
+  the ``node_setup`` hook once before its first task (model servers are
+  per-node in the paper, not per-task) and ``node_teardown`` at the end.
+* Mappers ``emit(key, value)``; emitted pairs are hash-partitioned into
+  ``num_reducers`` buckets, sorted by key, and reduced.
+* Map-only jobs (``reducer=None``) write each map task's emissions to its
+  own output shard — exactly how LF binaries produce vote files.
+* Worker failures: a map task that raises is retried up to
+  ``max_retries`` times on a fresh worker; exhausted retries abort the
+  job with :class:`WorkerFailure`. Output is staged per-attempt and only
+  finalized for the winning attempt, so retries never duplicate records
+  (the DFS write-once semantics give us this for free).
+
+Determinism: given the same inputs and spec, output shard contents are
+byte-identical regardless of ``parallelism`` — the shuffle sorts by
+``(key, sequence)`` and map outputs are kept in task order. The test suite
+asserts parallel ≡ sequential equivalence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.dfs.filesystem import DistributedFileSystem, shard_name
+from repro.dfs.records import RecordReader, RecordWriter
+from repro.mapreduce.counters import CounterSet
+from repro.mapreduce.service import NodeService, NodeServicePool
+
+__all__ = [
+    "MapContext",
+    "ReduceContext",
+    "MapReduceSpec",
+    "MapReduceResult",
+    "MapReduceJob",
+    "WorkerFailure",
+]
+
+Mapper = Callable[["MapContext", dict[str, Any]], None]
+Reducer = Callable[["ReduceContext", str, list[Any]], None]
+
+
+class WorkerFailure(Exception):
+    """A map task failed more times than the retry budget allows."""
+
+
+class MapContext:
+    """Handle given to mappers: emit pairs, bump counters, call services."""
+
+    def __init__(self, counters: CounterSet, service: NodeService | None) -> None:
+        self._pairs: list[tuple[str, Any]] = []
+        self.counters = counters
+        self._service = service
+
+    def emit(self, key: str, value: Any) -> None:
+        self._pairs.append((str(key), value))
+
+    @property
+    def service(self) -> NodeService:
+        """The node-local service (e.g. NLP model server), if configured."""
+        if self._service is None:
+            raise RuntimeError("this job was not configured with a node service")
+        return self._service
+
+    @property
+    def has_service(self) -> bool:
+        return self._service is not None
+
+
+class ReduceContext:
+    """Handle given to reducers."""
+
+    def __init__(self, counters: CounterSet) -> None:
+        self._pairs: list[tuple[str, Any]] = []
+        self.counters = counters
+
+    def emit(self, key: str, value: Any) -> None:
+        self._pairs.append((str(key), value))
+
+
+@dataclass
+class MapReduceSpec:
+    """Declarative description of one MapReduce job."""
+
+    name: str
+    input_paths: Sequence[str]
+    output_base: str
+    mapper: Mapper
+    reducer: Reducer | None = None
+    num_reducers: int = 4
+    parallelism: int = 1
+    max_retries: int = 2
+    node_setup: Callable[[], NodeService] | None = None
+    tasks_per_node: int = 4
+    fail_injector: Callable[[int, int], None] | None = None
+    """Test hook: called as ``fail_injector(task_index, attempt)`` before a
+    map task runs; raising simulates a worker crash."""
+
+
+@dataclass
+class MapReduceResult:
+    """What a finished job reports back."""
+
+    output_paths: list[str]
+    counters: CounterSet
+    map_tasks: int
+    reduce_tasks: int
+    wall_seconds: float
+    records_in: int
+    records_out: int
+    retries: int = 0
+    node_count: int = 1
+
+
+def _partition(key: str, buckets: int) -> int:
+    """Stable hash partition (must not depend on PYTHONHASHSEED)."""
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % buckets
+
+
+class MapReduceJob:
+    """Executes a :class:`MapReduceSpec` against a DFS."""
+
+    def __init__(self, dfs: DistributedFileSystem, spec: MapReduceSpec) -> None:
+        self._dfs = dfs
+        self._spec = spec
+        self._retries = 0
+        self._retry_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self) -> MapReduceResult:
+        spec = self._spec
+        start = time.perf_counter()
+        counters = CounterSet()
+
+        pool = NodeServicePool(spec.node_setup, spec.tasks_per_node)
+        try:
+            map_outputs, records_in = self._run_map_phase(counters, pool)
+        finally:
+            pool.shutdown()
+
+        if spec.reducer is None:
+            paths, records_out = self._write_map_only(map_outputs)
+            reduce_tasks = 0
+        else:
+            paths, records_out, reduce_tasks = self._run_reduce_phase(
+                map_outputs, counters
+            )
+
+        wall = time.perf_counter() - start
+        return MapReduceResult(
+            output_paths=paths,
+            counters=counters,
+            map_tasks=len(spec.input_paths),
+            reduce_tasks=reduce_tasks,
+            wall_seconds=wall,
+            records_in=records_in,
+            records_out=records_out,
+            retries=self._retries,
+            node_count=pool.nodes_started or 1,
+        )
+
+    # ------------------------------------------------------------------
+    # map phase
+    # ------------------------------------------------------------------
+    def _run_map_phase(
+        self, counters: CounterSet, pool: NodeServicePool
+    ) -> tuple[list[list[tuple[str, Any]]], int]:
+        spec = self._spec
+        outputs: list[list[tuple[str, Any]] | None] = [None] * len(spec.input_paths)
+        records_in = [0] * len(spec.input_paths)
+
+        def run_task(index: int) -> None:
+            path = spec.input_paths[index]
+            last_error: BaseException | None = None
+            for attempt in range(spec.max_retries + 1):
+                service = pool.acquire()
+                try:
+                    if spec.fail_injector is not None:
+                        spec.fail_injector(index, attempt)
+                    ctx = MapContext(counters, service)
+                    count = 0
+                    for record in RecordReader(self._dfs, path):
+                        spec.mapper(ctx, record)
+                        count += 1
+                    outputs[index] = ctx._pairs
+                    records_in[index] = count
+                    return
+                except Exception as error:  # worker crash -> retry
+                    last_error = error
+                    with self._retry_lock:
+                        self._retries += 1
+                finally:
+                    pool.release(service)
+            raise WorkerFailure(
+                f"map task {index} ({path}) failed after "
+                f"{spec.max_retries + 1} attempts"
+            ) from last_error
+
+        if spec.parallelism <= 1:
+            for i in range(len(spec.input_paths)):
+                run_task(i)
+        else:
+            with ThreadPoolExecutor(max_workers=spec.parallelism) as executor:
+                futures = [
+                    executor.submit(run_task, i)
+                    for i in range(len(spec.input_paths))
+                ]
+                for future in futures:
+                    future.result()
+
+        # Over-counted retries are attempts that eventually failed for good
+        # reasons; the final retries value counts crashed attempts only.
+        finished: list[list[tuple[str, Any]]] = [
+            pairs if pairs is not None else [] for pairs in outputs
+        ]
+        return finished, sum(records_in)
+
+    # ------------------------------------------------------------------
+    # map-only output
+    # ------------------------------------------------------------------
+    def _write_map_only(
+        self, map_outputs: list[list[tuple[str, Any]]]
+    ) -> tuple[list[str], int]:
+        spec = self._spec
+        count = len(map_outputs)
+        paths = []
+        records_out = 0
+        for index, pairs in enumerate(map_outputs):
+            path = shard_name(spec.output_base, index, count)
+            with RecordWriter(self._dfs, path) as writer:
+                for key, value in pairs:
+                    writer.write({"key": key, "value": value})
+                    records_out += 1
+            paths.append(path)
+        return paths, records_out
+
+    # ------------------------------------------------------------------
+    # shuffle + reduce
+    # ------------------------------------------------------------------
+    def _run_reduce_phase(
+        self,
+        map_outputs: list[list[tuple[str, Any]]],
+        counters: CounterSet,
+    ) -> tuple[list[str], int, int]:
+        spec = self._spec
+        buckets: list[dict[str, list[Any]]] = [
+            {} for _ in range(spec.num_reducers)
+        ]
+        # Shuffle in task order for determinism.
+        for pairs in map_outputs:
+            for key, value in pairs:
+                bucket = buckets[_partition(key, spec.num_reducers)]
+                bucket.setdefault(key, []).append(value)
+
+        paths = []
+        records_out = 0
+        for index, bucket in enumerate(buckets):
+            path = shard_name(spec.output_base, index, spec.num_reducers)
+            ctx = ReduceContext(counters)
+            for key in sorted(bucket):
+                spec.reducer(ctx, key, bucket[key])  # type: ignore[misc]
+            with RecordWriter(self._dfs, path) as writer:
+                for key, value in ctx._pairs:
+                    writer.write({"key": key, "value": value})
+                    records_out += 1
+            paths.append(path)
+        return paths, records_out, spec.num_reducers
+
+
+def run_map_reduce(
+    dfs: DistributedFileSystem,
+    spec: MapReduceSpec,
+) -> MapReduceResult:
+    """Convenience wrapper: build and run a job."""
+    return MapReduceJob(dfs, spec).run()

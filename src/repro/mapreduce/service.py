@@ -1,0 +1,106 @@
+"""Per-node service lifecycle management.
+
+Section 5.1: Google's NLP models "are too computationally expensive to run
+for all content submitted to Google. Snorkel DryBell therefore needs to
+enable labeling-function writers to execute additional models in a manner
+that scales ... Snorkel DryBell uses Google's MapReduce framework to
+launch a model server on each compute node."
+
+:class:`NodeServicePool` simulates that placement policy: map tasks are
+packed onto nodes (``tasks_per_node`` at a time); the first task to land
+on a node pays the service start-up cost; later tasks reuse the running
+server. ``nodes_started`` lets benchmarks report how many servers a job
+needed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Protocol
+
+__all__ = ["NodeService", "NodeServicePool"]
+
+
+class NodeService(Protocol):
+    """Minimal protocol a per-node service must implement.
+
+    Concrete services (e.g. :class:`repro.services.nlp_server.NLPServer`)
+    may expose any richer API; the pool only needs start/stop.
+    """
+
+    def start(self) -> None: ...
+
+    def stop(self) -> None: ...
+
+
+class _NullService:
+    """Placeholder used when a job declares no node service."""
+
+    def start(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def stop(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class NodeServicePool:
+    """Hands out node-local service instances to map tasks.
+
+    The pool creates a new "node" (and starts its service) whenever all
+    existing nodes are running ``tasks_per_node`` concurrent tasks. The
+    simulation is faithful to the paper's resource model: model servers
+    are a per-node cost amortized across the tasks scheduled there.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], NodeService] | None,
+        tasks_per_node: int = 4,
+    ) -> None:
+        if tasks_per_node < 1:
+            raise ValueError("tasks_per_node must be >= 1")
+        self._factory = factory
+        self._tasks_per_node = tasks_per_node
+        self._lock = threading.Lock()
+        self._services: list[NodeService] = []
+        self._active: list[int] = []
+        self.nodes_started = 0
+
+    def acquire(self) -> NodeService | None:
+        """Assign the calling map task to a node; returns its service.
+
+        Returns ``None`` when the job has no node service configured, so
+        :class:`repro.mapreduce.runner.MapContext` can report the absence
+        explicitly instead of handing mappers a dummy object.
+        """
+        if self._factory is None:
+            return None
+        with self._lock:
+            for i, active in enumerate(self._active):
+                if active < self._tasks_per_node:
+                    self._active[i] += 1
+                    return self._services[i]
+            service = self._factory()
+            service.start()
+            self._services.append(service)
+            self._active.append(1)
+            self.nodes_started += 1
+            return service
+
+    def release(self, service: NodeService | None) -> None:
+        """A map task finished; free its slot on the node."""
+        if service is None:
+            return
+        with self._lock:
+            for i, existing in enumerate(self._services):
+                if existing is service:
+                    self._active[i] = max(0, self._active[i] - 1)
+                    return
+
+    def shutdown(self) -> None:
+        """Stop every service the pool started."""
+        with self._lock:
+            services, self._services = self._services, []
+            self._active = []
+        for service in services:
+            service.stop()

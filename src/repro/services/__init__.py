@@ -1,0 +1,42 @@
+"""Simulated organizational resources.
+
+Section 3 of the paper categorizes the weak-supervision sources used at
+Google: source heuristics, content heuristics, model-based signals (NER
+taggers, a coarse semantic topic model, existing internal classifiers) and
+graph-based signals (the Knowledge Graph, entity-relationship graphs).
+Several of these are *non-servable*: "too slow, expensive, or private to
+be used in production" (Section 4).
+
+This package reproduces each resource as an in-process service with the
+same interface shape: an explicit start/stop lifecycle (model servers are
+launched per MapReduce node), per-call virtual latency accounting (so the
+servable/non-servable distinction is measurable), and deterministic
+behaviour derived from the synthetic world in :mod:`repro.datasets`.
+"""
+
+from repro.services.base import (
+    ModelServer,
+    ServiceStats,
+    ServiceUnavailable,
+    FlakyServer,
+)
+from repro.services.nlp_server import NLPResult, NLPServer
+from repro.services.topic_model import TopicModel, TopicScore
+from repro.services.knowledge_graph import KnowledgeGraph
+from repro.services.web_crawler import CrawlResult, WebCrawler
+from repro.services.aggregates import AggregateStore
+
+__all__ = [
+    "ModelServer",
+    "ServiceStats",
+    "ServiceUnavailable",
+    "FlakyServer",
+    "NLPResult",
+    "NLPServer",
+    "TopicModel",
+    "TopicScore",
+    "KnowledgeGraph",
+    "CrawlResult",
+    "WebCrawler",
+    "AggregateStore",
+]

@@ -1,0 +1,29 @@
+"""Production serving substrate (the TFX substitute, Section 5.3).
+
+"The probabilistic training labels estimated by Snorkel DryBell are
+passed to TFX, where users can configure a model to train with a
+noise-aware loss function. Once trained, we use TFX to automatically
+stage it for serving."
+
+The reproduction provides the same lifecycle: a declarative
+:class:`TFXPipeline` (ExampleGen -> Transform -> Trainer -> Evaluator ->
+Pusher), a versioned :class:`ModelRegistry` with evaluation-gated
+"blessing", and a :class:`ProductionServer` that loads the latest blessed
+model, enforces the servable-feature boundary, and accounts per-request
+latency against an SLA budget (Section 7: "products are composed of many
+services that are connected via latency agreements").
+"""
+
+from repro.serving.model_registry import ModelRegistry, ModelVersion
+from repro.serving.tfx import TFXPipeline, PipelineRun, TrainerSpec
+from repro.serving.server import ProductionServer, ServingStats
+
+__all__ = [
+    "ModelRegistry",
+    "ModelVersion",
+    "TFXPipeline",
+    "PipelineRun",
+    "TrainerSpec",
+    "ProductionServer",
+    "ServingStats",
+]

@@ -1,0 +1,156 @@
+"""The TFX-style training pipeline.
+
+Section 5.3 describes the hand-off: Snorkel DryBell's probabilistic
+labels go to TFX, which trains a model with a noise-aware loss, evaluates
+it, and stages it for serving. :class:`TFXPipeline` reproduces the
+component chain:
+
+* **ExampleGen** — examples plus their soft labels (from the generative
+  model) arrive as in-memory sequences or DFS record paths;
+* **Transform** — a featurizer maps examples to model inputs (the
+  servable feature view);
+* **Trainer** — logistic regression (FTRL) or the MLP, both noise-aware;
+* **Evaluator** — P/R/F1 on a labeled eval split; the model is *blessed*
+  only if F1 clears ``blessing_threshold`` (and any previously blessed
+  version, if ``require_improvement``);
+* **Pusher** — blessed models are staged to the :class:`ModelRegistry`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.discriminative.dnn import MLPConfig, NoiseAwareMLP
+from repro.discriminative.logistic import (
+    LogisticConfig,
+    NoiseAwareLogisticRegression,
+)
+from repro.discriminative.metrics import BinaryMetrics, binary_metrics
+from repro.features.spec import NonServableAccessError
+from repro.serving.model_registry import ModelRegistry, ModelVersion
+from repro.types import Example
+
+__all__ = ["TrainerSpec", "PipelineRun", "TFXPipeline"]
+
+
+@dataclass
+class TrainerSpec:
+    """Which model to train and with what configuration."""
+
+    kind: str = "logistic"  # "logistic" | "mlp"
+    logistic: LogisticConfig = field(default_factory=LogisticConfig)
+    mlp: MLPConfig = field(default_factory=MLPConfig)
+
+
+@dataclass
+class PipelineRun:
+    """Artifacts of one pipeline execution."""
+
+    model_version: ModelVersion
+    eval_metrics: BinaryMetrics | None
+    blessed: bool
+    wall_seconds: float
+    train_examples: int
+
+
+class TFXPipeline:
+    """ExampleGen -> Transform -> Trainer -> Evaluator -> Pusher."""
+
+    def __init__(
+        self,
+        name: str,
+        featurizer: Any,
+        registry: ModelRegistry,
+        trainer: TrainerSpec | None = None,
+        blessing_threshold: float = 0.0,
+        require_improvement: bool = False,
+        enforce_servable: bool = True,
+    ) -> None:
+        self.name = name
+        self.featurizer = featurizer
+        self.registry = registry
+        self.trainer = trainer or TrainerSpec()
+        self.blessing_threshold = blessing_threshold
+        self.require_improvement = require_improvement
+        if enforce_servable and not featurizer.spec.servable:
+            raise NonServableAccessError(
+                f"pipeline {name!r} was configured with non-servable "
+                f"featurizer {featurizer.spec.name!r}; deployment models "
+                f"must use servable features (Section 4)"
+            )
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        train_examples: Sequence[Example],
+        soft_labels: np.ndarray,
+        eval_examples: Sequence[Example] | None = None,
+        eval_labels: np.ndarray | None = None,
+    ) -> PipelineRun:
+        """Train, evaluate, and stage a model."""
+        start = time.perf_counter()
+        soft = np.asarray(soft_labels, dtype=np.float64)
+        if len(soft) != len(train_examples):
+            raise ValueError(
+                f"{len(train_examples)} examples but {len(soft)} labels"
+            )
+
+        # Transform
+        X_train = self.featurizer.transform(train_examples)
+
+        # Trainer
+        model = self._train(X_train, soft)
+
+        # Evaluator
+        eval_metrics: BinaryMetrics | None = None
+        blessed = True
+        if eval_examples is not None and eval_labels is not None:
+            X_eval = self.featurizer.transform(eval_examples)
+            scores = model.predict_proba(X_eval)
+            eval_metrics = binary_metrics(np.asarray(eval_labels), scores)
+            blessed = eval_metrics.f1 >= self.blessing_threshold
+            if blessed and self.require_improvement:
+                incumbent = self.registry.latest_blessed(self.name)
+                if incumbent is not None:
+                    prior_f1 = incumbent.metrics.get("f1", 0.0)
+                    blessed = eval_metrics.f1 >= prior_f1
+
+        # Pusher
+        version = self.registry.stage(
+            self.name,
+            model=model,
+            featurizer=self.featurizer,
+            metrics=eval_metrics.as_dict() if eval_metrics else {},
+            blessed=blessed,
+            notes=f"trainer={self.trainer.kind}",
+        )
+        return PipelineRun(
+            model_version=version,
+            eval_metrics=eval_metrics,
+            blessed=blessed,
+            wall_seconds=time.perf_counter() - start,
+            train_examples=len(train_examples),
+        )
+
+    # ------------------------------------------------------------------
+    def _train(self, X_train: Any, soft: np.ndarray) -> Any:
+        kind = self.trainer.kind
+        if kind == "logistic":
+            model = NoiseAwareLogisticRegression(
+                dimension=self.featurizer.spec.dimension,
+                config=self.trainer.logistic,
+            )
+            return model.fit(X_train, soft)
+        if kind == "mlp":
+            model = NoiseAwareMLP(
+                input_dim=self.featurizer.spec.dimension,
+                config=self.trainer.mlp,
+            )
+            return model.fit(np.asarray(X_train), soft)
+        raise ValueError(f"unknown trainer kind {kind!r}")

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (tiny-scale datasets, label matrices) are session-scoped:
+they are deterministic given (seed, scale), so sharing them across tests
+only trades isolation we do not need for a large speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TINY_SCALE
+from repro.datasets.content import (
+    build_content_world,
+    generate_product_dataset,
+    generate_topic_dataset,
+)
+from repro.datasets.events import generate_events_dataset
+from repro.dfs.filesystem import DistributedFileSystem
+
+
+@pytest.fixture()
+def dfs() -> DistributedFileSystem:
+    return DistributedFileSystem()
+
+
+@pytest.fixture(scope="session")
+def content_world():
+    return build_content_world(seed=0)
+
+
+@pytest.fixture(scope="session")
+def topic_dataset():
+    return generate_topic_dataset(TINY_SCALE, seed=3)
+
+
+@pytest.fixture(scope="session")
+def product_dataset():
+    return generate_product_dataset(TINY_SCALE, seed=3)
+
+
+@pytest.fixture(scope="session")
+def events_dataset():
+    return generate_events_dataset(TINY_SCALE, seed=1)
+
+
+def synthetic_label_matrix(
+    m: int = 2000,
+    accuracies=(0.9, 0.8, 0.75, 0.7, 0.65),
+    propensities=(0.6, 0.5, 0.6, 0.4, 0.5),
+    positive_rate: float = 0.5,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw (L, y) exactly from the paper's generative model.
+
+    Each LF votes with its propensity and, conditioned on voting, is
+    correct with its accuracy — the model the sampling-free trainer
+    assumes, so parameter-recovery tests have a well-defined target.
+    """
+    rng = np.random.default_rng(seed)
+    accuracies = np.asarray(accuracies, dtype=float)
+    propensities = np.asarray(propensities, dtype=float)
+    if accuracies.shape != propensities.shape:
+        raise ValueError("accuracies and propensities must align")
+    y = np.where(rng.random(m) < positive_rate, 1, -1).astype(np.int8)
+    L = np.zeros((m, len(accuracies)), dtype=np.int8)
+    for j, (acc, prop) in enumerate(zip(accuracies, propensities)):
+        fires = rng.random(m) < prop
+        correct = rng.random(m) < acc
+        L[fires, j] = np.where(correct[fires], y[fires], -y[fires])
+    return L, y
+
+
+@pytest.fixture(scope="session")
+def recovery_matrix():
+    """A 3000x6 matrix from known parameters, for recovery tests."""
+    return synthetic_label_matrix(
+        m=3000,
+        accuracies=(0.92, 0.85, 0.8, 0.72, 0.65, 0.6),
+        propensities=(0.6, 0.5, 0.7, 0.4, 0.55, 0.45),
+        seed=11,
+    )

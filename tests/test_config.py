@@ -1,0 +1,42 @@
+"""Tests for scale configuration."""
+
+import pytest
+
+from repro.config import FULL_SCALE, SMALL_SCALE, TINY_SCALE, get_scale
+
+
+class TestScales:
+    def test_full_scale_matches_table1(self):
+        assert FULL_SCALE.topic_unlabeled == 684_000
+        assert FULL_SCALE.product_unlabeled == 6_500_000
+        assert FULL_SCALE.topic_dev == 11_000
+        assert FULL_SCALE.product_test == 13_000
+
+    def test_is_full_flag(self):
+        assert FULL_SCALE.is_full
+        assert not SMALL_SCALE.is_full
+        assert not TINY_SCALE.is_full
+
+    def test_get_scale_by_name(self):
+        assert get_scale("tiny") is TINY_SCALE
+        assert get_scale("small") is SMALL_SCALE
+        assert get_scale("full") is FULL_SCALE
+
+    def test_get_scale_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale() is SMALL_SCALE
+
+    def test_get_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert get_scale() is TINY_SCALE
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_scale("galactic")
+
+    def test_scales_are_ordered(self):
+        assert (
+            TINY_SCALE.topic_unlabeled
+            < SMALL_SCALE.topic_unlabeled
+            < FULL_SCALE.topic_unlabeled
+        )

@@ -1,0 +1,240 @@
+"""Tests for the Gibbs baseline, multiclass, structured, and triplet
+label models."""
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs import GibbsConfig, GibbsLabelModel
+from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.core.matrix_completion import TripletLabelModel
+from repro.core.multiclass import MulticlassConfig, MulticlassLabelModel
+from repro.core.structure import StructuredConfig, StructuredLabelModel
+from tests.conftest import synthetic_label_matrix
+
+
+class TestGibbs:
+    def test_recovers_accuracy_ordering(self, recovery_matrix):
+        L, _ = recovery_matrix
+        model = GibbsLabelModel(GibbsConfig(n_epochs=15, seed=0)).fit(L)
+        accs = model.accuracies()
+        assert accs[0] > accs[-1]
+
+    def test_agrees_with_sampling_free_predictions(self, recovery_matrix):
+        """Both trainers target the same model; their posteriors must
+        classify (almost) identically on conditionally independent data."""
+        L, _ = recovery_matrix
+        gibbs = GibbsLabelModel(GibbsConfig(n_epochs=15, seed=0)).fit(L)
+        exact = SamplingFreeLabelModel(
+            LabelModelConfig(n_steps=3000, seed=0)
+        ).fit(L)
+        covered = np.abs(L).sum(axis=1) > 0
+        agree = (
+            (gibbs.predict_proba(L) > 0.5) == (exact.predict_proba(L) > 0.5)
+        )[covered].mean()
+        assert agree > 0.93
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GibbsLabelModel().predict_proba(np.zeros((1, 3)))
+
+    def test_min_alpha_floor(self, recovery_matrix):
+        L, _ = recovery_matrix
+        model = GibbsLabelModel(GibbsConfig(n_epochs=5, seed=1)).fit(L)
+        assert np.all(model.accuracies() >= 0.5)
+
+    def test_examples_processed_counter(self):
+        L, _ = synthetic_label_matrix(m=320, seed=1)
+        model = GibbsLabelModel(GibbsConfig(n_epochs=2, batch_size=64)).fit(L)
+        assert model.examples_processed == 640
+
+    def test_benchmark_reports_positive_rate(self):
+        L, _ = synthetic_label_matrix(m=500, seed=2)
+        rate = GibbsLabelModel(GibbsConfig(seed=0)).benchmark_examples_per_second(
+            L, budget_seconds=0.1
+        )
+        assert rate > 0
+
+
+def multiclass_matrix(m=2500, k=3, accuracies=(0.9, 0.8, 0.7, 0.65), seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(1, k + 1, size=m)
+    L = np.zeros((m, len(accuracies)), dtype=np.int64)
+    for j, acc in enumerate(accuracies):
+        fire = rng.random(m) < 0.7
+        correct = rng.random(m) < acc
+        wrong = rng.integers(1, k, size=m)
+        wrong = np.where(wrong >= y, wrong + 1, wrong)
+        L[fire, j] = np.where(correct[fire], y[fire], wrong[fire])
+    return L, y
+
+
+class TestMulticlass:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two classes"):
+            MulticlassLabelModel(1)
+        model = MulticlassLabelModel(3)
+        with pytest.raises(ValueError, match="votes must be in"):
+            model.fit(np.array([[4, 0]]))
+        with pytest.raises(RuntimeError):
+            MulticlassLabelModel(3).predict_proba(np.zeros((1, 2)))
+
+    def test_posterior_rows_sum_to_one(self):
+        L, _ = multiclass_matrix(seed=3)
+        model = MulticlassLabelModel(
+            3, MulticlassConfig(n_steps=800, seed=0)
+        ).fit(L)
+        probs = model.predict_proba(L)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_recovers_labels(self):
+        L, y = multiclass_matrix(seed=4)
+        model = MulticlassLabelModel(
+            3, MulticlassConfig(n_steps=1500, seed=0)
+        ).fit(L)
+        covered = (L != 0).sum(axis=1) > 0
+        assert (model.predict(L) == y)[covered].mean() > 0.85
+
+    def test_accuracy_ordering(self):
+        L, _ = multiclass_matrix(seed=5)
+        model = MulticlassLabelModel(
+            3, MulticlassConfig(n_steps=1500, seed=0)
+        ).fit(L)
+        accs = model.accuracies()
+        assert accs[0] > accs[-1]
+
+    def test_all_abstain_uniform(self):
+        L, _ = multiclass_matrix(seed=6)
+        model = MulticlassLabelModel(
+            3, MulticlassConfig(n_steps=500, seed=0)
+        ).fit(L)
+        probs = model.predict_proba(np.zeros((2, L.shape[1]), dtype=np.int64))
+        assert np.allclose(probs, 1.0 / 3.0)
+
+    def test_binary_special_case_matches_binary_model(self):
+        """k=2 multiclass should order posteriors like the binary model."""
+        L_binary, y = synthetic_label_matrix(m=1200, seed=7)
+        L_mc = np.where(L_binary == -1, 2, L_binary).astype(np.int64)
+        mc = MulticlassLabelModel(
+            2, MulticlassConfig(n_steps=1500, seed=0)
+        ).fit(L_mc)
+        binary = SamplingFreeLabelModel(
+            LabelModelConfig(n_steps=1500, seed=0)
+        ).fit(L_binary)
+        p_mc = mc.predict_proba(L_mc)[:, 0]
+        p_bin = binary.predict_proba(L_binary)
+        covered = np.abs(L_binary).sum(axis=1) > 0
+        agree = ((p_mc > 0.5) == (p_bin > 0.5))[covered].mean()
+        assert agree > 0.95
+
+
+class TestStructured:
+    def test_validates_dependencies(self):
+        with pytest.raises(ValueError, match="bad dependency"):
+            StructuredLabelModel(3, [(0, 3)])
+        with pytest.raises(ValueError, match="bad dependency"):
+            StructuredLabelModel(3, [(1, 1)])
+
+    def test_max_clique_enforced(self):
+        deps = [(i, i + 1) for i in range(7)]
+        with pytest.raises(ValueError, match="tree width"):
+            StructuredLabelModel(8, deps, StructuredConfig(max_clique=4))
+
+    def test_reduces_to_independent_model_without_deps(self):
+        L, _ = synthetic_label_matrix(m=800, seed=8)
+        structured = StructuredLabelModel(
+            L.shape[1], [], StructuredConfig(n_steps=400, seed=0)
+        ).fit(L)
+        flat = SamplingFreeLabelModel(
+            LabelModelConfig(n_steps=4000, seed=0)
+        ).fit(L)
+        p_s = structured.predict_proba(L)
+        p_f = flat.predict_proba(L)
+        covered = np.abs(L).sum(axis=1) > 0
+        assert ((p_s > 0.5) == (p_f > 0.5))[covered].mean() > 0.97
+
+    def test_learns_positive_agreement_for_duplicated_lf(self):
+        """A duplicated LF pair co-votes far beyond what Y explains; the
+        structured model should assign the pair a positive gamma."""
+        rng = np.random.default_rng(9)
+        y = rng.choice([-1, 1], size=1500)
+        L = np.zeros((1500, 4), dtype=np.int8)
+        for j in range(3):
+            fire = rng.random(1500) < 0.6
+            correct = rng.random(1500) < 0.8
+            L[fire, j] = np.where(correct[fire], y[fire], -y[fire])
+        L[:, 3] = L[:, 2]  # exact duplicate
+        model = StructuredLabelModel(
+            4, [(2, 3)], StructuredConfig(n_steps=400, seed=0)
+        ).fit(L)
+        deps = model.learned_dependencies()
+        assert deps[0][:2] == (2, 3)
+        assert deps[0][2] > 0.5
+
+    def test_duplicate_discounted_vs_independent_model(self):
+        """With the duplicate modeled, the pair's combined influence on
+        the posterior should shrink toward one LF's worth."""
+        rng = np.random.default_rng(10)
+        y = rng.choice([-1, 1], size=1500)
+        L = np.zeros((1500, 4), dtype=np.int8)
+        for j in range(3):
+            fire = rng.random(1500) < 0.6
+            correct = rng.random(1500) < 0.8
+            L[fire, j] = np.where(correct[fire], y[fire], -y[fire])
+        L[:, 3] = L[:, 2]
+        structured = StructuredLabelModel(
+            4, [(2, 3)], StructuredConfig(n_steps=400, seed=0)
+        ).fit(L)
+        # Row where only the duplicated pair votes +1: the structured
+        # posterior should be less confident than the naive CI model's.
+        flat = SamplingFreeLabelModel(
+            LabelModelConfig(n_steps=3000, seed=0)
+        ).fit(L)
+        row = np.array([[0, 0, 1, 1]], dtype=np.int8)
+        assert structured.predict_proba(row)[0] < flat.predict_proba(row)[0] + 0.05
+
+    def test_cliques_partition_lfs(self):
+        model = StructuredLabelModel(5, [(0, 1), (1, 2)])
+        sizes = sorted(len(c.members) for c in model.cliques)
+        assert sizes == [1, 1, 3]
+
+
+class TestTriplet:
+    def test_needs_three_lfs(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            TripletLabelModel().fit(np.zeros((10, 2)))
+
+    def test_recovers_accuracies(self, recovery_matrix):
+        L, _ = recovery_matrix
+        model = TripletLabelModel().fit(L)
+        accs = model.accuracies()
+        true = np.array([0.92, 0.85, 0.8, 0.72, 0.65, 0.6])
+        assert np.all(np.abs(accs - true) < 0.12)
+
+    def test_posterior_classifies(self, recovery_matrix):
+        L, y = recovery_matrix
+        model = TripletLabelModel().fit(L)
+        p = model.predict_proba(L)
+        covered = np.abs(L).sum(axis=1) > 0
+        assert ((p > 0.5) == (y == 1))[covered].mean() > 0.85
+
+    def test_prior_shifts_posterior(self, recovery_matrix):
+        L, _ = recovery_matrix
+        model = TripletLabelModel().fit(L)
+        row = np.zeros((1, L.shape[1]))
+        assert model.predict_proba(row, prior=0.2)[0] == pytest.approx(0.2)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TripletLabelModel().predict_proba(np.zeros((1, 3)))
+
+    def test_much_faster_than_gradient_trainer(self, recovery_matrix):
+        import time
+
+        L, _ = recovery_matrix
+        start = time.perf_counter()
+        TripletLabelModel().fit(L)
+        triplet_time = time.perf_counter() - start
+        start = time.perf_counter()
+        SamplingFreeLabelModel(LabelModelConfig(n_steps=4000)).fit(L)
+        gradient_time = time.perf_counter() - start
+        assert triplet_time < gradient_time

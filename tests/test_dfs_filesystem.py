@@ -1,0 +1,181 @@
+"""Tests for the simulated distributed filesystem."""
+
+import threading
+
+import pytest
+
+from repro.dfs.filesystem import (
+    DFSError,
+    DistributedFileSystem,
+    FileNotFound,
+    parse_sharded,
+    shard_name,
+    shard_pattern,
+)
+
+
+class TestShardNaming:
+    def test_shard_name_format(self):
+        assert shard_name("/a/votes", 3, 16) == "/a/votes-00003-of-00016"
+
+    def test_shard_name_bounds(self):
+        with pytest.raises(ValueError):
+            shard_name("/a", 16, 16)
+        with pytest.raises(ValueError):
+            shard_name("/a", -1, 16)
+
+    def test_shard_pattern_enumerates_all(self):
+        names = shard_pattern("/a", 3)
+        assert len(names) == 3
+        assert names[0].endswith("-00000-of-00003")
+
+    def test_parse_sharded(self):
+        assert parse_sharded("/a/votes@4") == ("/a/votes", 4)
+        assert parse_sharded("/a/votes") is None
+
+
+class TestWritePath:
+    def test_staged_files_invisible_until_finalized(self, dfs):
+        dfs.create("/x")
+        dfs.append("/x", b"data")
+        assert not dfs.exists("/x")
+        with pytest.raises(FileNotFound):
+            dfs.read_file("/x")
+        dfs.finalize("/x")
+        assert dfs.read_file("/x") == b"data"
+
+    def test_write_file_convenience(self, dfs):
+        dfs.write_file("/y", b"hello")
+        assert dfs.read_file("/y") == b"hello"
+
+    def test_files_are_immutable_once_finalized(self, dfs):
+        dfs.write_file("/x", b"1")
+        with pytest.raises(DFSError, match="immutable"):
+            dfs.create("/x")
+
+    def test_double_staging_rejected(self, dfs):
+        dfs.create("/x")
+        with pytest.raises(DFSError, match="staged"):
+            dfs.create("/x")
+
+    def test_append_requires_staging(self, dfs):
+        with pytest.raises(DFSError, match="not staged"):
+            dfs.append("/nope", b"x")
+
+    def test_abandon_discards_staged_data(self, dfs):
+        dfs.create("/x")
+        dfs.append("/x", b"junk")
+        dfs.abandon("/x")
+        assert not dfs.exists("/x")
+        # The path is free for a new writer (crashed-worker retry).
+        dfs.write_file("/x", b"good")
+        assert dfs.read_file("/x") == b"good"
+
+    def test_multiple_appends_concatenate(self, dfs):
+        dfs.create("/x")
+        dfs.append("/x", b"ab")
+        dfs.append("/x", b"cd")
+        dfs.finalize("/x")
+        assert dfs.read_file("/x") == b"abcd"
+
+
+class TestPathValidation:
+    def test_relative_paths_rejected(self, dfs):
+        with pytest.raises(DFSError, match="absolute"):
+            dfs.write_file("relative/path", b"")
+
+    def test_dotdot_rejected(self, dfs):
+        with pytest.raises(DFSError, match="relative components"):
+            dfs.write_file("/a/../b", b"")
+
+    def test_duplicate_slashes_normalized(self, dfs):
+        dfs.write_file("/a//b", b"x")
+        assert dfs.read_file("/a/b") == b"x"
+
+
+class TestNamespaceOps:
+    def test_list_by_prefix(self, dfs):
+        dfs.write_file("/runs/a/1", b"")
+        dfs.write_file("/runs/a/2", b"")
+        dfs.write_file("/runs/b/1", b"")
+        assert dfs.list("/runs/a") == ["/runs/a/1", "/runs/a/2"]
+
+    def test_glob_wildcards(self, dfs):
+        dfs.write_file("/v/part-0", b"")
+        dfs.write_file("/v/part-1", b"")
+        dfs.write_file("/v/other", b"")
+        assert dfs.glob("/v/part-*") == ["/v/part-0", "/v/part-1"]
+
+    def test_glob_shard_set(self, dfs):
+        for i in range(3):
+            dfs.write_file(shard_name("/v/votes", i, 3), b"")
+        names = dfs.glob("/v/votes@3")
+        assert len(names) == 3
+
+    def test_glob_incomplete_shard_set_raises(self, dfs):
+        dfs.write_file(shard_name("/v/votes", 0, 3), b"")
+        with pytest.raises(FileNotFound, match="incomplete"):
+            dfs.glob("/v/votes@3")
+
+    def test_delete(self, dfs):
+        dfs.write_file("/x", b"1")
+        dfs.delete("/x")
+        assert not dfs.exists("/x")
+        with pytest.raises(FileNotFound):
+            dfs.delete("/x")
+
+    def test_delete_recursive_counts(self, dfs):
+        dfs.write_file("/t/1", b"")
+        dfs.write_file("/t/2", b"")
+        assert dfs.delete_recursive("/t") == 2
+        assert dfs.list("/t") == []
+
+    def test_copy_tree(self, dfs):
+        dfs.write_file("/src/a", b"1")
+        dfs.write_file("/src/b", b"2")
+        copied = dfs.copy_tree("/src", "/dst")
+        assert sorted(copied) == ["/dst/a", "/dst/b"]
+        assert dfs.read_file("/dst/b") == b"2"
+
+
+class TestAccounting:
+    def test_total_bytes_and_count(self, dfs):
+        dfs.write_file("/a", b"12345")
+        dfs.write_file("/b", b"67")
+        assert dfs.total_bytes() == 7
+        assert dfs.file_count() == 2
+
+    def test_staged_paths_visible_for_debugging(self, dfs):
+        dfs.create("/pending")
+        assert dfs.staged_paths() == ["/pending"]
+
+
+class TestConcurrency:
+    def test_parallel_writers_distinct_shards(self, dfs):
+        errors = []
+
+        def write(i: int) -> None:
+            try:
+                path = shard_name("/c/votes", i, 16)
+                dfs.create(path)
+                dfs.append(path, f"shard-{i}".encode())
+                dfs.finalize(path)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=write, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(dfs.glob("/c/votes@16")) == 16
+
+    def test_disk_spill_round_trip(self, tmp_path):
+        dfs = DistributedFileSystem(root=str(tmp_path))
+        dfs.write_file("/spill/a", b"bytes")
+        spilled = list(tmp_path.iterdir())
+        assert len(spilled) == 1
+        assert spilled[0].read_bytes() == b"bytes"
+        dfs.delete("/spill/a")
+        assert list(tmp_path.iterdir()) == []

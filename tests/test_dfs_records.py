@@ -1,0 +1,94 @@
+"""Tests for record-file serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dfs.records import (
+    RecordCorruption,
+    RecordReader,
+    RecordWriter,
+    decode_records,
+    encode_record,
+    iter_record_blobs,
+    read_records,
+    write_records,
+)
+
+
+class TestFraming:
+    def test_single_record_round_trip(self):
+        blob = encode_record({"a": 1, "b": "x"})
+        assert list(decode_records(blob)) == [{"a": 1, "b": "x"}]
+
+    def test_multiple_records_round_trip(self):
+        blob = encode_record({"i": 0}) + encode_record({"i": 1})
+        assert [r["i"] for r in decode_records(blob)] == [0, 1]
+
+    def test_truncated_header_detected(self):
+        blob = encode_record({"a": 1})
+        # Two stray bytes after a valid record cannot hold a header.
+        with pytest.raises(RecordCorruption, match="truncated"):
+            list(decode_records(blob + b"\x00\x00"))
+
+    def test_overrun_length_detected(self):
+        blob = encode_record({"a": 1})
+        with pytest.raises(RecordCorruption):
+            list(decode_records(blob[: len(blob) // 2]))
+
+    def test_bit_flip_detected_by_crc(self):
+        blob = bytearray(encode_record({"key": "value"}))
+        blob[-2] ^= 0xFF
+        with pytest.raises(RecordCorruption, match="CRC"):
+            list(decode_records(bytes(blob)))
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(st.integers(), st.text(max_size=20), st.booleans()),
+            max_size=5,
+        )
+    )
+    def test_any_json_payload_round_trips(self, payload):
+        assert list(decode_records(encode_record(payload))) == [payload]
+
+
+class TestWriterReader:
+    def test_write_read_round_trip(self, dfs):
+        count = write_records(dfs, "/r/file", [{"i": i} for i in range(10)])
+        assert count == 10
+        assert [r["i"] for r in read_records(dfs, "/r/file")] == list(range(10))
+
+    def test_writer_counts_records(self, dfs):
+        with RecordWriter(dfs, "/r/x") as writer:
+            writer.write({"a": 1})
+            writer.write({"a": 2})
+            assert writer.records_written == 2
+
+    def test_writer_publishes_only_on_clean_exit(self, dfs):
+        with pytest.raises(RuntimeError):
+            with RecordWriter(dfs, "/r/x") as writer:
+                writer.write({"a": 1})
+                raise RuntimeError("worker crash")
+        # The crashed writer's output never became visible.
+        assert not dfs.exists("/r/x")
+
+    def test_closed_writer_rejects_writes(self, dfs):
+        writer = RecordWriter(dfs, "/r/x")
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.write({"a": 1})
+
+    def test_reader_iterates_multiple_times(self, dfs):
+        write_records(dfs, "/r/x", [{"i": 1}])
+        reader = RecordReader(dfs, "/r/x")
+        assert list(reader) == list(reader)
+
+    def test_iter_record_blobs_spans_files(self, dfs):
+        write_records(dfs, "/r/a", [{"i": 0}])
+        write_records(dfs, "/r/b", [{"i": 1}, {"i": 2}])
+        merged = list(iter_record_blobs(dfs, ["/r/a", "/r/b"]))
+        assert [r["i"] for r in merged] == [0, 1, 2]
+
+    def test_empty_file_yields_nothing(self, dfs):
+        write_records(dfs, "/r/empty", [])
+        assert read_records(dfs, "/r/empty") == []

@@ -1,0 +1,260 @@
+"""Tests for FTRL, logistic regression, the MLP, and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import sparse
+
+from repro.core.noise_aware import labels_to_soft_targets
+from repro.discriminative.dnn import MLPConfig, NoiseAwareMLP
+from repro.discriminative.ftrl import FTRLProximal
+from repro.discriminative.logistic import (
+    LogisticConfig,
+    NoiseAwareLogisticRegression,
+)
+from repro.discriminative.metrics import (
+    average_precision,
+    binary_metrics,
+    pr_curve,
+    recall_at_precision,
+    relative_metrics,
+    score_histogram,
+)
+
+
+def separable_data(n=400, d=6, seed=0, margin=1.0):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=d)
+    X = rng.normal(size=(n, d))
+    y = np.where(X @ w > 0, 1, -1)
+    X = X + margin * 0.1 * np.outer(y, w) / np.linalg.norm(w)
+    return sparse.csr_matrix(X), y
+
+
+class TestFTRL:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FTRLProximal(0)
+        with pytest.raises(ValueError):
+            FTRLProximal(4, alpha=0.0)
+        ftrl = FTRLProximal(4)
+        with pytest.raises(ValueError):
+            ftrl.update(np.array([0, 1]), np.array([0.1]))
+
+    def test_initial_weights_zero(self):
+        ftrl = FTRLProximal(5)
+        assert np.all(ftrl.dense_weights() == 0.0)
+
+    def test_update_moves_weight_against_gradient(self):
+        ftrl = FTRLProximal(3, alpha=0.5)
+        ftrl.update(np.array([1]), np.array([-2.0]))
+        assert ftrl.weights_for(np.array([1]))[0] > 0
+
+    def test_l1_produces_sparsity(self):
+        rng = np.random.default_rng(0)
+        dense = FTRLProximal(50, l1=0.0)
+        lasso = FTRLProximal(50, l1=2.0)
+        for _ in range(200):
+            idx = rng.integers(0, 50, size=5)
+            grads = rng.normal(scale=0.1, size=5)
+            dense.update(idx, grads)
+            lasso.update(idx, grads)
+        assert lasso.nonzero_weights() < dense.nonzero_weights()
+
+    def test_per_coordinate_rates_differ(self):
+        """A frequently-updated coordinate gets a smaller effective step."""
+        ftrl = FTRLProximal(2, alpha=0.5)
+        for _ in range(50):
+            ftrl.update(np.array([0]), np.array([1.0]))
+        ftrl.update(np.array([1]), np.array([1.0]))
+        w = ftrl.dense_weights()
+        # Coordinate 0 saw 50 unit gradients but its accumulated n damps
+        # each step; coordinate 1's single step is relatively large.
+        assert abs(w[0]) < 50 * abs(w[1])
+
+
+class TestNoiseAwareLogistic:
+    def test_learns_separable_problem(self):
+        X, y = separable_data(seed=1)
+        model = NoiseAwareLogisticRegression(
+            X.shape[1], LogisticConfig(n_iterations=600, seed=0)
+        ).fit(X, labels_to_soft_targets(y))
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy > 0.9
+
+    def test_soft_target_validation(self):
+        X, _ = separable_data(n=10)
+        model = NoiseAwareLogisticRegression(X.shape[1])
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            model.fit(X, np.full(10, 1.5))
+        with pytest.raises(ValueError, match="rows"):
+            model.fit(X, np.zeros(5))
+
+    def test_soft_labels_temper_confidence(self):
+        X, y = separable_data(n=300, seed=2)
+        hard = NoiseAwareLogisticRegression(
+            X.shape[1], LogisticConfig(n_iterations=800, seed=0)
+        ).fit(X, labels_to_soft_targets(y))
+        soft_targets = 0.5 + 0.2 * (y == 1) - 0.2 * (y == -1)
+        soft = NoiseAwareLogisticRegression(
+            X.shape[1], LogisticConfig(n_iterations=800, seed=0)
+        ).fit(X, soft_targets)
+        hard_conf = np.abs(hard.predict_proba(X) - 0.5).mean()
+        soft_conf = np.abs(soft.predict_proba(X) - 0.5).mean()
+        assert soft_conf < hard_conf
+
+    def test_loss_decreases_with_training(self):
+        X, y = separable_data(seed=3)
+        soft = labels_to_soft_targets(y)
+        short = NoiseAwareLogisticRegression(
+            X.shape[1], LogisticConfig(n_iterations=20, seed=0)
+        ).fit(X, soft)
+        long = NoiseAwareLogisticRegression(
+            X.shape[1], LogisticConfig(n_iterations=800, seed=0)
+        ).fit(X, soft)
+        assert long.loss(X, soft) < short.loss(X, soft)
+
+    def test_intercept_configurable(self):
+        X, y = separable_data(n=50, seed=4)
+        model = NoiseAwareLogisticRegression(
+            X.shape[1],
+            LogisticConfig(n_iterations=50, fit_intercept=False, seed=0),
+        ).fit(X, labels_to_soft_targets(y))
+        assert model._intercept_index is None
+
+    def test_sample_weights_accepted(self):
+        X, y = separable_data(n=60, seed=5)
+        model = NoiseAwareLogisticRegression(
+            X.shape[1], LogisticConfig(n_iterations=50, seed=0)
+        ).fit(X, labels_to_soft_targets(y), sample_weights=np.ones(60))
+        assert model.iterations_run == 50
+
+
+class TestNoiseAwareMLP:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseAwareMLP(0)
+        mlp = NoiseAwareMLP(4)
+        with pytest.raises(ValueError, match="expected"):
+            mlp.predict_proba(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="targets"):
+            mlp.fit(np.zeros((3, 4)), np.zeros(2))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            mlp.fit(np.zeros((2, 4)), np.array([0.5, 2.0]))
+
+    def test_learns_nonlinear_boundary(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(600, 2))
+        y = np.where(X[:, 0] * X[:, 1] > 0, 1, -1)  # XOR-ish
+        mlp = NoiseAwareMLP(
+            2, MLPConfig(hidden_sizes=(16, 8), n_epochs=80, seed=0)
+        ).fit(X, labels_to_soft_targets(y))
+        assert (mlp.predict(X) == y).mean() > 0.9
+
+    def test_loss_history_decreases(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(300, 4))
+        y = np.where(X[:, 0] > 0, 1, -1)
+        mlp = NoiseAwareMLP(4, MLPConfig(n_epochs=30, seed=0)).fit(
+            X, labels_to_soft_targets(y)
+        )
+        assert mlp.loss_history[-1] < mlp.loss_history[0]
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(100, 3))
+        soft = rng.random(100)
+        a = NoiseAwareMLP(3, MLPConfig(n_epochs=5, seed=1)).fit(X, soft)
+        b = NoiseAwareMLP(3, MLPConfig(n_epochs=5, seed=1)).fit(X, soft)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_probabilities_in_unit_interval(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(50, 3))
+        mlp = NoiseAwareMLP(3, MLPConfig(n_epochs=2, seed=0)).fit(
+            X, rng.random(50)
+        )
+        p = mlp.predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+
+
+class TestMetrics:
+    def test_known_confusion(self):
+        y = np.array([1, 1, -1, -1, 1])
+        scores = np.array([0.9, 0.2, 0.8, 0.1, 0.6])
+        m = binary_metrics(y, scores)
+        assert (m.true_positives, m.false_positives) == (2, 1)
+        assert (m.false_negatives, m.true_negatives) == (1, 1)
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.recall == pytest.approx(2 / 3)
+        assert m.f1 == pytest.approx(2 / 3)
+
+    def test_degenerate_cases(self):
+        y = np.array([-1, -1])
+        m = binary_metrics(y, np.array([0.1, 0.2]))
+        assert m.precision == 0.0 and m.recall == 0.0 and m.f1 == 0.0
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError, match="-1/\\+1"):
+            binary_metrics(np.array([0, 1]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match="shape"):
+            binary_metrics(np.array([1, -1]), np.array([0.5]))
+
+    def test_pr_curve_recall_monotone(self):
+        rng = np.random.default_rng(10)
+        y = rng.choice([-1, 1], size=100)
+        scores = rng.random(100)
+        precision, recall, thresholds = pr_curve(y, scores)
+        assert np.all(np.diff(recall) >= -1e-12)
+        assert len(precision) == len(recall) == len(thresholds) == 100
+
+    def test_average_precision_perfect_ranking(self):
+        y = np.array([1, 1, -1, -1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert average_precision(y, scores) == pytest.approx(1.0)
+
+    def test_average_precision_random_close_to_base_rate(self):
+        rng = np.random.default_rng(11)
+        y = np.where(rng.random(5000) < 0.3, 1, -1)
+        ap = average_precision(y, rng.random(5000))
+        assert abs(ap - 0.3) < 0.05
+
+    def test_recall_at_precision(self):
+        y = np.array([1, 1, -1, 1])
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        assert recall_at_precision(y, scores, 1.0) == pytest.approx(2 / 3)
+        assert recall_at_precision(y, scores, 0.7) == pytest.approx(1.0)
+        assert recall_at_precision(y, scores, 1.01) == 0.0
+
+    def test_relative_metrics_normalization(self):
+        base = binary_metrics(
+            np.array([1, -1, 1, -1]), np.array([0.9, 0.2, 0.4, 0.1])
+        )
+        rel = relative_metrics(base, base)
+        assert rel["precision"] == pytest.approx(100.0)
+        assert rel["f1"] == pytest.approx(100.0)
+        assert rel["lift"] == pytest.approx(0.0)
+
+    def test_relative_metrics_nan_on_zero_baseline(self):
+        y = np.array([1, -1])
+        zero = binary_metrics(y, np.array([0.1, 0.1]))
+        good = binary_metrics(y, np.array([0.9, 0.1]))
+        rel = relative_metrics(good, zero)
+        assert np.isnan(rel["f1"])
+
+    def test_score_histogram(self):
+        counts, edges = score_histogram(np.array([0.05, 0.95, 0.5]), bins=10)
+        assert counts.sum() == 3
+        assert counts[0] == 1 and counts[-1] == 1
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 2 ** 16))
+    def test_f1_harmonic_mean_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.choice([-1, 1], size=60)
+        if not (y == 1).any():
+            y[0] = 1
+        m = binary_metrics(y, rng.random(60))
+        if m.precision + m.recall > 0:
+            expected = 2 * m.precision * m.recall / (m.precision + m.recall)
+            assert m.f1 == pytest.approx(expected)

@@ -1,0 +1,245 @@
+"""Tests for the labeling-function template library (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.dfs.records import iter_record_blobs, read_records
+from repro.lf.applier import LFApplier, apply_lfs_in_memory, stage_examples
+from repro.lf.base import AbstractLabelingFunction
+from repro.lf.default import LabelingFunction
+from repro.lf.nlp import NLPLabelingFunction, celebrity_example_lf
+from repro.lf.registry import LFCategory, LFInfo, LFRegistry
+from repro.services.base import ServiceUnavailable
+from repro.services.nlp_server import NLPServer
+from repro.types import ABSTAIN, Example
+
+
+def make_examples(n=20):
+    return [
+        Example(
+            example_id=f"x{i}",
+            fields={"title": f"item {i}", "body": "good" if i % 2 else "bad"},
+        )
+        for i in range(n)
+    ]
+
+
+def simple_lf(name="parity", vote_on="good", vote=1, servable=True):
+    info = LFInfo(
+        name=name,
+        category=LFCategory.CONTENT_HEURISTIC,
+        servable=servable,
+    )
+    return LabelingFunction(
+        info, lambda x: vote if vote_on in x.fields["body"] else ABSTAIN
+    )
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = LFRegistry("app")
+        info = LFInfo("a", LFCategory.MODEL_BASED, servable=False)
+        registry.register(info)
+        assert registry.info("a") is info
+        assert "a" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = LFRegistry("app")
+        registry.register(LFInfo("a", LFCategory.MODEL_BASED, False))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(LFInfo("a", LFCategory.MODEL_BASED, False))
+
+    def test_servable_partition(self):
+        registry = LFRegistry("app")
+        registry.register(LFInfo("s", LFCategory.CONTENT_HEURISTIC, True))
+        registry.register(LFInfo("n", LFCategory.MODEL_BASED, False))
+        assert registry.servable_names() == ["s"]
+        assert registry.non_servable_names() == ["n"]
+
+    def test_category_counts_and_distribution(self):
+        registry = LFRegistry("app")
+        registry.register(LFInfo("a", LFCategory.MODEL_BASED, False))
+        registry.register(LFInfo("b", LFCategory.MODEL_BASED, False))
+        registry.register(LFInfo("c", LFCategory.GRAPH_BASED, False))
+        counts = registry.category_counts()
+        assert counts[LFCategory.MODEL_BASED] == 2
+        dist = registry.category_distribution()
+        assert dist["model-based"] == pytest.approx(2 / 3)
+
+    def test_figure2_table(self):
+        registry = LFRegistry("app")
+        registry.register(LFInfo("a", LFCategory.MODEL_BASED, False))
+        rows = LFRegistry.figure2_table([registry])
+        assert rows == [
+            {
+                "application": "app",
+                "category": "model-based",
+                "count": 1,
+                "fraction": 1.0,
+            }
+        ]
+
+    def test_merge(self):
+        a, b = LFRegistry("a"), LFRegistry("b")
+        a.register(LFInfo("x", LFCategory.MODEL_BASED, False))
+        b.register(LFInfo("y", LFCategory.GRAPH_BASED, False))
+        merged = a.merge(b)
+        assert set(merged.names()) == {"x", "y"}
+
+
+class TestLabelingFunctionRun:
+    def test_votes_written_to_dfs(self, dfs):
+        examples = make_examples(10)
+        paths = stage_examples(dfs, examples, "/data/examples", num_shards=2)
+        lf = simple_lf()
+        result = lf.run(dfs, paths, "/runs/parity/votes")
+
+        assert result.examples_seen == 10
+        assert result.positives == 5
+        assert result.abstains == 5
+        assert result.coverage == pytest.approx(0.5)
+        votes = {
+            r["key"]: r["value"]
+            for r in iter_record_blobs(dfs, result.output_paths)
+        }
+        assert votes == {f"x{i}": 1 for i in range(10) if i % 2}
+
+    def test_abstains_not_written(self, dfs):
+        examples = make_examples(10)
+        paths = stage_examples(dfs, examples, "/d/e", num_shards=1)
+        result = simple_lf().run(dfs, paths, "/r/votes")
+        assert result.votes_emitted == 5
+
+    def test_invalid_vote_rejected(self, dfs):
+        examples = make_examples(4)
+        paths = stage_examples(dfs, examples, "/d/e2", num_shards=1)
+        info = LFInfo("bad", LFCategory.CONTENT_HEURISTIC, True)
+        lf = LabelingFunction(info, lambda x: 7)
+        from repro.mapreduce.runner import WorkerFailure
+
+        with pytest.raises(WorkerFailure):
+            lf.run(dfs, paths, "/r/bad")
+
+    def test_vote_in_memory_matches_run(self, dfs):
+        examples = make_examples(12)
+        lf = simple_lf()
+        memory_votes = [lf.vote_in_memory(e) for e in examples]
+        paths = stage_examples(dfs, examples, "/d/e3", num_shards=3)
+        result = lf.run(dfs, paths, "/r/v3")
+        dfs_votes = {
+            r["key"]: r["value"]
+            for r in iter_record_blobs(dfs, result.output_paths)
+        }
+        for example, vote in zip(examples, memory_votes):
+            assert dfs_votes.get(example.example_id, 0) == vote
+
+    def test_resource_lifecycle_managed(self):
+        from repro.services.base import ModelServer
+
+        class Res(ModelServer):
+            pass
+
+        resource = Res()
+        info = LFInfo("r", LFCategory.MODEL_BASED, False)
+        lf = LabelingFunction(info, lambda x: 0, resources=[resource])
+        lf.start_resources()
+        assert resource.running
+        lf.stop_resources()
+        assert not resource.running
+
+
+class TestNLPLabelingFunction:
+    def _server_factory(self):
+        return NLPServer({"avery sterling": "person"})
+
+    def _lf(self):
+        info = LFInfo("nlp", LFCategory.MODEL_BASED, False)
+        return NLPLabelingFunction(
+            info,
+            get_text=lambda x: x.fields.get("body", ""),
+            get_value=lambda x, nlp: -1 if not nlp.people else 0,
+            server_factory=self._server_factory,
+        )
+
+    def test_paper_example_votes(self, dfs):
+        examples = [
+            Example("a", fields={"body": "market news today"}),
+            Example("b", fields={"body": "Avery Sterling spotted"}),
+        ]
+        paths = stage_examples(dfs, examples, "/d/nlp", num_shards=1)
+        result = self._lf().run(dfs, paths, "/r/nlp")
+        votes = {
+            r["key"]: r["value"]
+            for r in iter_record_blobs(dfs, result.output_paths)
+        }
+        assert votes == {"a": -1}  # b abstains (person present)
+
+    def test_requires_node_service(self):
+        lf = self._lf()
+        with pytest.raises(ServiceUnavailable):
+            lf._vote(Example("x", fields={"body": "text"}), service=None)
+
+    def test_celebrity_example_factory(self):
+        lf = celebrity_example_lf(self._server_factory)
+        assert lf.info.category is LFCategory.MODEL_BASED
+        assert not lf.info.servable
+        vote = lf.vote_in_memory(Example("x", fields={"title": "", "body": "plain"}))
+        assert vote == -1
+        lf.close_local_service()
+
+    def test_server_started_per_node(self, dfs):
+        starts = []
+
+        def factory():
+            server = NLPServer({})
+            starts.append(server)
+            return server
+
+        info = LFInfo("nlp2", LFCategory.MODEL_BASED, False)
+        lf = NLPLabelingFunction(
+            info,
+            get_text=lambda x: "",
+            get_value=lambda x, nlp: 0,
+            server_factory=factory,
+        )
+        examples = make_examples(8)
+        paths = stage_examples(dfs, examples, "/d/nlp2", num_shards=4)
+        lf.run(dfs, paths, "/r/nlp2", parallelism=1, tasks_per_node=4)
+        assert len(starts) == 1  # one node -> one server
+
+
+class TestApplier:
+    def test_apply_joins_votes(self, dfs):
+        examples = make_examples(10)
+        paths = stage_examples(dfs, examples, "/d/app", num_shards=2)
+        lfs = [simple_lf("good_lf", "good", 1), simple_lf("bad_lf", "bad", -1)]
+        applier = LFApplier(dfs, paths, run_root="/runs/app")
+        report = applier.apply(lfs)
+        matrix = report.label_matrix
+        assert matrix.shape == (10, 2)
+        assert matrix.lf_names == ["good_lf", "bad_lf"]
+        # Every example gets exactly one vote (good xor bad).
+        assert np.all(np.abs(matrix.matrix).sum(axis=1) == 1)
+
+    def test_apply_matches_in_memory(self, dfs):
+        examples = make_examples(15)
+        lfs = [simple_lf("g", "good", 1), simple_lf("b", "bad", -1)]
+        memory = apply_lfs_in_memory(lfs, examples)
+        paths = stage_examples(dfs, examples, "/d/eq", num_shards=3)
+        report = LFApplier(dfs, paths, run_root="/runs/eq").apply(lfs)
+        assert memory.lf_names == report.label_matrix.lf_names
+        # Join on ids: DFS sharding interleaves row order.
+        dfs_matrix = report.label_matrix.select_examples(memory.example_ids)
+        assert np.array_equal(memory.matrix, dfs_matrix.matrix)
+
+    def test_stage_examples_validates_shards(self, dfs):
+        with pytest.raises(ValueError):
+            stage_examples(dfs, make_examples(2), "/d/x", num_shards=0)
+
+    def test_report_throughput(self, dfs):
+        examples = make_examples(10)
+        paths = stage_examples(dfs, examples, "/d/tp", num_shards=1)
+        report = LFApplier(dfs, paths, run_root="/runs/tp").apply([simple_lf()])
+        assert report.examples == 10
+        assert report.examples_per_second > 0

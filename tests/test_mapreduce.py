@@ -1,0 +1,286 @@
+"""Tests for the MapReduce engine, counters, and node services."""
+
+import threading
+
+import pytest
+
+from repro.dfs.records import read_records, write_records
+from repro.mapreduce.counters import CounterSet
+from repro.mapreduce.runner import MapReduceJob, MapReduceSpec, WorkerFailure
+from repro.mapreduce.service import NodeServicePool
+
+
+def stage_numbers(dfs, shards=4, per_shard=5):
+    paths = []
+    value = 0
+    for s in range(shards):
+        path = f"/in/part-{s}"
+        write_records(dfs, path, [{"n": value + i} for i in range(per_shard)])
+        value += per_shard
+        paths.append(path)
+    return paths
+
+
+class TestCounters:
+    def test_increment_and_value(self):
+        counters = CounterSet()
+        counters.increment("a")
+        counters.increment("a", 4)
+        assert counters.value("a") == 5
+        assert counters.value("missing") == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().increment("a", -1)
+
+    def test_merge(self):
+        a, b = CounterSet(), CounterSet()
+        a.increment("x", 2)
+        b.increment("x", 3)
+        b.increment("y")
+        a.merge(b)
+        assert a.as_dict() == {"x": 5, "y": 1}
+
+    def test_merged_classmethod(self):
+        parts = []
+        for i in range(3):
+            c = CounterSet()
+            c.increment("n", i + 1)
+            parts.append(c)
+        assert CounterSet.merged(parts).value("n") == 6
+
+    def test_thread_safety(self):
+        counters = CounterSet()
+
+        def bump():
+            for _ in range(1000):
+                counters.increment("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters.value("n") == 8000
+
+
+class TestMapOnly:
+    def test_one_output_shard_per_input(self, dfs):
+        paths = stage_numbers(dfs, shards=3)
+
+        def mapper(ctx, record):
+            ctx.emit(str(record["n"]), record["n"] * 2)
+
+        result = MapReduceJob(
+            dfs, MapReduceSpec("t", paths, "/out/m", mapper)
+        ).run()
+        assert len(result.output_paths) == 3
+        assert result.records_in == 15
+        assert result.records_out == 15
+
+    def test_mapper_can_filter(self, dfs):
+        paths = stage_numbers(dfs)
+
+        def mapper(ctx, record):
+            if record["n"] % 2 == 0:
+                ctx.emit(str(record["n"]), record["n"])
+
+        result = MapReduceJob(
+            dfs, MapReduceSpec("t", paths, "/out/f", mapper)
+        ).run()
+        assert result.records_out == 10
+
+    def test_counters_reach_result(self, dfs):
+        paths = stage_numbers(dfs)
+
+        def mapper(ctx, record):
+            ctx.counters.increment("seen")
+            ctx.emit("k", 1)
+
+        result = MapReduceJob(
+            dfs, MapReduceSpec("t", paths, "/out/c", mapper)
+        ).run()
+        assert result.counters.value("seen") == 20
+
+
+class TestReduce:
+    def _word_count(self, dfs, parallelism=1):
+        paths = stage_numbers(dfs, shards=4, per_shard=10)
+
+        def mapper(ctx, record):
+            ctx.emit("even" if record["n"] % 2 == 0 else "odd", 1)
+
+        def reducer(ctx, key, values):
+            ctx.emit(key, sum(values))
+
+        spec = MapReduceSpec(
+            "wc", paths, "/out/wc", mapper, reducer=reducer,
+            num_reducers=2, parallelism=parallelism,
+        )
+        result = MapReduceJob(dfs, spec).run()
+        merged = {}
+        for path in result.output_paths:
+            for record in read_records(dfs, path):
+                merged[record["key"]] = record["value"]
+        return merged, result
+
+    def test_word_count(self, dfs):
+        merged, result = self._word_count(dfs)
+        assert merged == {"even": 20, "odd": 20}
+        assert result.reduce_tasks == 2
+
+    def test_parallel_equals_sequential(self, dfs):
+        from repro.dfs.filesystem import DistributedFileSystem
+
+        sequential, _ = self._word_count(dfs, parallelism=1)
+        parallel, _ = self._word_count(DistributedFileSystem(), parallelism=4)
+        assert sequential == parallel
+
+    def test_reduce_output_bytes_deterministic(self, dfs):
+        from repro.dfs.filesystem import DistributedFileSystem
+
+        outputs = []
+        for parallelism in (1, 4):
+            fresh = DistributedFileSystem()
+            _, result = self._word_count(fresh, parallelism=parallelism)
+            outputs.append(
+                b"".join(fresh.read_file(p) for p in result.output_paths)
+            )
+        assert outputs[0] == outputs[1]
+
+
+class TestFailureHandling:
+    def test_transient_failures_retried(self, dfs):
+        paths = stage_numbers(dfs, shards=2)
+        attempts = {}
+
+        def flaky_injector(task, attempt):
+            attempts[(task, attempt)] = True
+            if task == 0 and attempt == 0:
+                raise RuntimeError("simulated worker crash")
+
+        def mapper(ctx, record):
+            ctx.emit(str(record["n"]), 1)
+
+        spec = MapReduceSpec(
+            "t", paths, "/out/r", mapper, fail_injector=flaky_injector
+        )
+        result = MapReduceJob(dfs, spec).run()
+        assert result.retries == 1
+        assert result.records_out == 10  # no duplicates from the retry
+
+    def test_persistent_failure_aborts(self, dfs):
+        paths = stage_numbers(dfs, shards=1)
+
+        def always_fail(task, attempt):
+            raise RuntimeError("dead node")
+
+        def mapper(ctx, record):
+            ctx.emit("k", 1)
+
+        spec = MapReduceSpec(
+            "t", paths, "/out/x", mapper,
+            fail_injector=always_fail, max_retries=2,
+        )
+        with pytest.raises(WorkerFailure, match="after 3 attempts"):
+            MapReduceJob(dfs, spec).run()
+
+    def test_mapper_exception_is_retried_then_fatal(self, dfs):
+        paths = stage_numbers(dfs, shards=1)
+
+        def bad_mapper(ctx, record):
+            raise KeyError("bug in user code")
+
+        spec = MapReduceSpec("t", paths, "/out/y", bad_mapper, max_retries=1)
+        with pytest.raises(WorkerFailure):
+            MapReduceJob(dfs, spec).run()
+
+
+class _RecordingService:
+    def __init__(self, log):
+        self.log = log
+
+    def start(self):
+        self.log.append("start")
+
+    def stop(self):
+        self.log.append("stop")
+
+
+class TestNodeServices:
+    def test_services_start_per_node_not_per_task(self, dfs):
+        paths = stage_numbers(dfs, shards=8)
+        log = []
+
+        def mapper(ctx, record):
+            assert ctx.has_service
+            ctx.emit("k", 1)
+
+        spec = MapReduceSpec(
+            "t", paths, "/out/s", mapper,
+            node_setup=lambda: _RecordingService(log),
+            tasks_per_node=4, parallelism=1,
+        )
+        result = MapReduceJob(dfs, spec).run()
+        # Sequential execution packs all tasks onto one node.
+        assert log.count("start") == 1
+        assert log.count("stop") == 1
+        assert result.node_count == 1
+
+    def test_parallel_tasks_spread_across_nodes(self, dfs):
+        paths = stage_numbers(dfs, shards=4)
+        log = []
+        barrier = threading.Barrier(4, timeout=30)
+        gate_once = threading.local()
+
+        def mapper(ctx, record):
+            # Force all four map tasks to be in flight simultaneously so
+            # the pool must start four single-slot nodes.
+            if not getattr(gate_once, "passed", False):
+                gate_once.passed = True
+                barrier.wait()
+            ctx.emit("k", 1)
+
+        spec = MapReduceSpec(
+            "t", paths, "/out/s2", mapper,
+            node_setup=lambda: _RecordingService(log),
+            tasks_per_node=1, parallelism=4,
+        )
+        result = MapReduceJob(dfs, spec).run()
+        assert result.node_count == 4
+        assert log.count("start") == log.count("stop") == 4
+
+    def test_no_service_configured(self, dfs):
+        paths = stage_numbers(dfs, shards=1)
+
+        def mapper(ctx, record):
+            assert not ctx.has_service
+            with pytest.raises(RuntimeError):
+                _ = ctx.service
+            ctx.emit("k", 1)
+
+        MapReduceJob(dfs, MapReduceSpec("t", paths, "/out/n", mapper)).run()
+
+    def test_pool_reuses_nodes_with_free_slots(self):
+        log = []
+        pool = NodeServicePool(lambda: _RecordingService(log), tasks_per_node=2)
+        a = pool.acquire()
+        b = pool.acquire()
+        assert a is b  # same node, two slots
+        c = pool.acquire()
+        assert c is not a  # third task forces a second node
+        pool.release(a)
+        d = pool.acquire()
+        assert d is a  # freed slot reused
+        pool.shutdown()
+        assert log.count("stop") == 2
+
+    def test_pool_without_factory_returns_none(self):
+        pool = NodeServicePool(None)
+        assert pool.acquire() is None
+        pool.release(None)
+        pool.shutdown()
+
+    def test_pool_validates_tasks_per_node(self):
+        with pytest.raises(ValueError):
+            NodeServicePool(lambda: _RecordingService([]), tasks_per_node=0)
