@@ -9,7 +9,6 @@ number of hand labels (a crossover exists inside the swept range, or the
 curve stays below DryBell throughout).
 """
 
-import numpy as np
 
 from repro.experiments import figure5
 from repro.experiments.harness import get_content_experiment

@@ -7,7 +7,6 @@ Shape assertions (paper): the Logical-OR model over-estimates scores —
 its mean score and high-score mass exceed the DryBell model's.
 """
 
-import numpy as np
 
 from repro.discriminative.metrics import score_histogram
 from repro.experiments import figure6

@@ -1,12 +1,29 @@
-"""Section 1 benchmark: end-to-end labeling throughput and the 6M-point
-sub-30-minute extrapolation.
+"""Section 1 benchmark: end-to-end labeling throughput, the 6M-point
+sub-30-minute extrapolation, and the batched-engine regression gate.
 
 Runs the full DFS + MapReduce labeling path (staging, per-LF jobs, vote
 join) on a slice of the product pool, measures examples/second, and
 extrapolates how many simulated nodes would be needed to label 6.5M
 examples in under 30 minutes — the claim in Section 1 ("implementing
 weak supervision over 6M+ data points with sub-30min execution time").
+
+``test_batched_vs_per_example`` is the perf gate for the vectorized
+batch execution engine: it compares the batched in-memory labeling path
+against the per-example baseline on the same pool and fails if the
+speedup regresses below the floor. Every benchmark here also appends
+its rows to ``BENCH_perf.json`` at the repository root (uploaded as a
+CI artifact) so the performance trajectory is tracked per commit.
+
+Environment knobs:
+
+* ``REPRO_SCALE`` — dataset scale (small/tiny/full), see repro.config.
+* ``REPRO_BENCH_N`` — example count for the batch-engine comparison
+  (default 20000; CI smoke runs use a small value). The >= 3x speedup
+  floor is only enforced at the default 20k+ regime where per-example
+  dispatch dominates; below it the gate only requires parity.
 """
+
+import os
 
 from repro.dfs.filesystem import DistributedFileSystem
 from repro.experiments import perf
@@ -15,6 +32,12 @@ from repro.lf.applier import LFApplier, stage_examples
 
 from benchmarks.conftest import emit
 
+#: Example count for the batch-vs-per-example comparison.
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "20000"))
+
+#: Minimum batched/per-example speedup enforced at the full 20k regime.
+SPEEDUP_FLOOR = 3.0
+
 
 def test_scale_extrapolation(benchmark, scale):
     result = benchmark.pedantic(
@@ -22,8 +45,32 @@ def test_scale_extrapolation(benchmark, scale):
     )
     emit(result)
     row = result.rows[0]
+    perf.update_bench_json("mapreduce_scale", {"scale": scale, **row})
     assert row["examples_per_second"] > 0
     assert row["nodes_for_30min_at_6_5m"] >= 1
+
+
+def test_batched_vs_per_example(benchmark, scale):
+    """The batch-engine gate: vectorized path must stay >= 3x at 20k."""
+    result = benchmark.pedantic(
+        lambda: perf.run_batch_throughput(scale=scale, n_examples=BENCH_N),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    row = result.rows[0]
+    path = perf.update_bench_json(
+        "batch_throughput", {"scale": scale, **row}
+    )
+    print(f"[bench json updated: {path}]")
+    if row["examples"] >= 20_000:
+        assert row["speedup"] >= SPEEDUP_FLOOR, (
+            f"batched engine regressed: {row['speedup']:.2f}x < "
+            f"{SPEEDUP_FLOOR}x at n={row['examples']}"
+        )
+    else:
+        # Smoke regime: overheads dominate tiny pools; require parity.
+        assert row["speedup"] > 0.8
 
 
 def test_mapreduce_labeling_throughput(benchmark, scale):

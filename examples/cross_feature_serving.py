@@ -21,7 +21,6 @@ from repro.discriminative.logistic import LogisticConfig
 from repro.features.extractors import DictVectorFeaturizer
 from repro.features.spec import FeatureView, NonServableAccessError
 from repro.lf.applier import apply_lfs_in_memory
-from repro.lf.default import LabelingFunction
 from repro.serving.model_registry import ModelRegistry
 from repro.serving.server import ProductionServer
 from repro.serving.tfx import TFXPipeline, TrainerSpec

@@ -25,7 +25,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.events import (
-    AGGREGATE_STATS,
     N_GRAPH_VIEWS,
     N_MODEL_VARIANTS,
     N_OFFLINE_MODELS,

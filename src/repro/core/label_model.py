@@ -54,7 +54,7 @@ and can be learned through a logit parameter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

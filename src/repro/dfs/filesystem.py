@@ -24,7 +24,6 @@ import fnmatch
 import os
 import re
 import threading
-from typing import Iterable
 
 __all__ = [
     "DistributedFileSystem",

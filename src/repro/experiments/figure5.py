@@ -18,7 +18,6 @@ crossover at a larger fraction of its pool than product's.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.config import DEFAULT_SEED
 from repro.experiments.harness import ExperimentResult, get_content_experiment

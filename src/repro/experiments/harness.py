@@ -26,7 +26,6 @@ all-abstain row carries no evidence and must not be called positive.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from functools import cached_property
 

@@ -15,10 +15,21 @@ sub-30min execution time". We measure this implementation's end-to-end
 labeling + modeling throughput on the simulated MapReduce substrate and
 extrapolate to 6.5M examples, reporting the implied node count needed to
 stay under 30 minutes.
+
+Batch engine: :func:`run_batch_throughput` compares the vectorized
+in-memory labeling path against the per-example baseline on identical
+example pools (votes asserted identical) and times the label-model fit.
+All perf experiments contribute their rows to a machine-readable
+``BENCH_perf.json`` at the repository root via :func:`update_bench_json`,
+which CI uploads as an artifact so the performance trajectory is tracked
+per commit.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import time
 
 import numpy as np
@@ -26,11 +37,51 @@ import numpy as np
 from repro.config import DEFAULT_SEED
 from repro.core.gibbs import GibbsConfig, GibbsLabelModel
 from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
-from repro.experiments.harness import ExperimentResult, get_content_experiment
-from repro.lf.applier import LFApplier, stage_examples
+from repro.experiments.harness import (
+    ExperimentResult,
+    get_content_experiment,
+    results_path,
+)
+from repro.lf.applier import LFApplier, apply_lfs_in_memory, stage_examples
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.types import Example
 
-__all__ = ["run_speed", "run_scale", "measure_label_model_steps_per_second"]
+__all__ = [
+    "run_speed",
+    "run_scale",
+    "run_batch_throughput",
+    "measure_label_model_steps_per_second",
+    "bench_json_path",
+    "update_bench_json",
+]
+
+
+def bench_json_path() -> str:
+    """``BENCH_perf.json`` at the repository root."""
+    return os.path.join(os.path.dirname(results_path()), "BENCH_perf.json")
+
+
+def update_bench_json(section: str, payload: dict, path: str | None = None) -> str:
+    """Merge one experiment's rows into ``BENCH_perf.json``.
+
+    Each perf benchmark owns a section; read-modify-write keeps the file
+    a single machine-readable snapshot regardless of which benchmarks
+    ran. Returns the path written.
+    """
+    path = path or bench_json_path()
+    data: dict = {"schema": 1}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            data = {"schema": 1}
+    data[section] = payload
+    data["python"] = platform.python_version()
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def measure_label_model_steps_per_second(
@@ -133,3 +184,91 @@ def run_scale(scale: str | None = None, seed: int = DEFAULT_SEED) -> ExperimentR
         }
     ]
     return ExperimentResult("perf_scale", "\n".join(lines), rows)
+
+
+def _clone_examples(examples) -> list[Example]:
+    """Fresh Example objects so per-example token memos start cold."""
+    return [
+        Example(
+            example_id=e.example_id,
+            fields=dict(e.fields),
+            servable=dict(e.servable),
+            non_servable=dict(e.non_servable),
+            label=e.label,
+        )
+        for e in examples
+    ]
+
+
+def run_batch_throughput(
+    scale: str | None = None,
+    seed: int = DEFAULT_SEED,
+    n_examples: int = 20_000,
+    rounds: int = 2,
+) -> ExperimentResult:
+    """Batched vs per-example in-memory labeling throughput.
+
+    Runs the product application's LF suite over ``n_examples`` pool
+    examples through both execution paths, asserts the label matrices
+    are identical, and reports examples/second (best of ``rounds``, on
+    freshly cloned examples each round so tokenization memos never
+    carry over) plus the generative-model fit time.
+    """
+    exp = get_content_experiment("product", scale, seed)
+    pool = exp.dataset.unlabeled
+    n = min(n_examples, len(pool))
+    lfs = exp.lfs
+
+    # Warm run-scoped state that is not what we measure: KG translation
+    # closures, lazily built matchers, allocator pools.
+    apply_lfs_in_memory(lfs, _clone_examples(pool[:256]), batched=True)
+    apply_lfs_in_memory(lfs, _clone_examples(pool[:256]), batched=False)
+
+    def best_rate(batched: bool) -> tuple[float, "np.ndarray"]:
+        best = 0.0
+        matrix = None
+        for _ in range(max(1, rounds)):
+            examples = _clone_examples(pool[:n])
+            start = time.perf_counter()
+            L = apply_lfs_in_memory(lfs, examples, batched=batched)
+            wall = time.perf_counter() - start
+            best = max(best, n / wall)
+            matrix = L.matrix
+        return best, matrix
+
+    batched_eps, L_batched = best_rate(batched=True)
+    per_example_eps, L_per = best_rate(batched=False)
+    if not np.array_equal(L_batched, L_per):
+        raise AssertionError(
+            "batched and per-example labeling disagree; the batch engine "
+            "must be vote-for-vote identical to the per-example path"
+        )
+    speedup = batched_eps / max(per_example_eps, 1e-9)
+
+    start = time.perf_counter()
+    model = SamplingFreeLabelModel(LabelModelConfig(seed=seed))
+    model.fit(L_batched)
+    fit_seconds = time.perf_counter() - start
+
+    lines = [
+        "Batched LF execution engine: in-memory labeling throughput "
+        f"({n:,} examples, {len(lfs)} LFs, best of {rounds})",
+        "",
+        f"{'batched path':<32} {batched_eps:>12,.0f} examples/s",
+        f"{'per-example path':<32} {per_example_eps:>12,.0f} examples/s",
+        f"{'speedup':<32} {speedup:>12.2f}x",
+        f"{'label model fit':<32} {fit_seconds:>11.2f}s "
+        f"({L_batched.shape[0]:,} x {L_batched.shape[1]})",
+    ]
+    rows = [
+        {
+            "examples": n,
+            "lfs": len(lfs),
+            "rounds": rounds,
+            "batched_examples_per_second": batched_eps,
+            "per_example_examples_per_second": per_example_eps,
+            "speedup": speedup,
+            "label_model_fit_seconds": fit_seconds,
+        }
+    ]
+    return ExperimentResult("perf_batch_throughput", "\n".join(lines), rows)

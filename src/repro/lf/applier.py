@@ -13,23 +13,42 @@ generative model" (Figure 4). :class:`LFApplier` reproduces that flow:
 :func:`apply_lfs_in_memory` is the measurement fast path used by large
 parameter sweeps; integration tests assert both paths produce identical
 matrices.
+
+Both paths are *batched*: LF binaries run block-based map tasks
+(``batch_size`` records per block) and the vote join is columnar — one
+``(n, m)`` int8 matrix filled a column per LF with a vectorized scatter,
+instead of the per-``(example, LF)`` dictionary join the seed shipped
+with. ``batch_size=None`` (or ``batched=False`` in memory) selects the
+original per-example path, kept for equivalence tests and as the
+baseline the perf benchmarks measure against.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.dfs.filesystem import DistributedFileSystem
-from repro.dfs.records import iter_record_blobs, write_records
+from repro.dfs.records import DEFAULT_BLOCK_SIZE, iter_record_blobs, write_records
 from repro.lf.base import AbstractLabelingFunction, LFRunResult
 from repro.lf.default import LabelingFunction
 from repro.types import Example, LabelMatrix
 
-__all__ = ["LFApplier", "ApplyReport", "stage_examples", "apply_lfs_in_memory"]
+__all__ = [
+    "LFApplier",
+    "ApplyReport",
+    "stage_examples",
+    "apply_lfs_in_memory",
+    "DEFAULT_MEMORY_BATCH",
+]
+
+#: Block size for the in-memory batched path. Big enough that NumPy and
+#: set-intersection kernels dominate Python dispatch, small enough that a
+#: block's intermediates stay cache-resident.
+DEFAULT_MEMORY_BATCH = 8192
 
 
 @dataclass
@@ -81,11 +100,13 @@ class LFApplier:
         example_paths: Sequence[str],
         run_root: str = "/runs/default",
         parallelism: int = 1,
+        batch_size: int | None = DEFAULT_BLOCK_SIZE,
     ) -> None:
         self._dfs = dfs
         self._example_paths = list(example_paths)
         self._run_root = run_root.rstrip("/")
         self._parallelism = parallelism
+        self._batch_size = batch_size
 
     def apply(self, lfs: Sequence[AbstractLabelingFunction]) -> ApplyReport:
         start = time.perf_counter()
@@ -93,10 +114,13 @@ class LFApplier:
             record["example_id"]
             for record in iter_record_blobs(self._dfs, self._example_paths)
         ]
+        # Columnar join: one O(n) id index, then each LF's sparse vote
+        # shards scatter into their own int8 column.
+        id_index = {eid: i for i, eid in enumerate(example_ids)}
+        matrix = np.zeros((len(example_ids), len(lfs)), dtype=np.int8)
 
         lf_results = []
-        votes_by_lf: dict[str, dict[str, int]] = {}
-        for lf in lfs:
+        for j, lf in enumerate(lfs):
             if isinstance(lf, LabelingFunction):
                 lf.start_resources()
             try:
@@ -106,22 +130,26 @@ class LFApplier:
                     self._example_paths,
                     output_base,
                     parallelism=self._parallelism,
+                    batch_size=self._batch_size,
                 )
             finally:
                 if isinstance(lf, LabelingFunction):
                     lf.stop_resources()
             lf_results.append(result)
-            votes_by_lf[lf.name] = {
-                record["key"]: int(record["value"])
-                for record in iter_record_blobs(self._dfs, result.output_paths)
-            }
+            rows: list[int] = []
+            values: list[int] = []
+            for record in iter_record_blobs(self._dfs, result.output_paths):
+                row = id_index.get(record["key"])
+                if row is not None:
+                    rows.append(row)
+                    values.append(int(record["value"]))
+            if rows:
+                matrix[np.asarray(rows), j] = np.asarray(values, dtype=np.int8)
 
-        matrix = LabelMatrix.from_votes(votes_by_lf, example_ids)
-        # Column order of from_votes is sorted; keep the caller's order.
-        matrix = matrix.select_lfs([lf.name for lf in lfs])
+        label_matrix = LabelMatrix(matrix, example_ids, [lf.name for lf in lfs])
         wall = time.perf_counter() - start
         return ApplyReport(
-            label_matrix=matrix,
+            label_matrix=label_matrix,
             lf_results=lf_results,
             wall_seconds=wall,
             examples=len(example_ids),
@@ -131,21 +159,63 @@ class LFApplier:
 def apply_lfs_in_memory(
     lfs: Sequence[AbstractLabelingFunction],
     examples: Sequence[Example],
+    batched: bool = True,
+    batch_size: int = DEFAULT_MEMORY_BATCH,
 ) -> LabelMatrix:
     """Fast path: vote on in-memory examples, no DFS/MapReduce.
 
     Produces the same matrix as :class:`LFApplier` (asserted by the
     integration tests); used by benchmarks so parameter sweeps measure
     modeling, not simulator overhead.
+
+    ``batched=True`` (the default) fills each LF's column via
+    :meth:`~repro.lf.base.AbstractLabelingFunction.label_batch` in
+    ``batch_size`` blocks; ``batched=False`` is the seed's per-example
+    loop, kept as the baseline the perf suite compares against.
     """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    examples = list(examples)
     n, m = len(examples), len(lfs)
     matrix = np.zeros((n, m), dtype=np.int8)
+
+    # Keyword-style LFs carry a declarative TokenMatchSpec; fuse them so
+    # each example is tokenized and index-probed once for the whole
+    # group instead of once per LF.
+    fused_cols: list[int] = []
+    if batched:
+        fused_cols = [
+            j for j, lf in enumerate(lfs)
+            if getattr(lf, "fused_spec", None) is not None
+        ]
+    if fused_cols:
+        from repro.lf.templates import apply_fused_batch_specs
+
+        fused_lfs = [lfs[j] for j in fused_cols]
+        for lf in fused_lfs:
+            lf.start_resources()
+        try:
+            fused_votes = apply_fused_batch_specs(
+                [lf.fused_spec for lf in fused_lfs], examples
+            )
+            matrix[:, fused_cols] = fused_votes
+        finally:
+            for lf in fused_lfs:
+                lf.stop_resources()
+
     for j, lf in enumerate(lfs):
+        if j in fused_cols:
+            continue
         if isinstance(lf, LabelingFunction):
             lf.start_resources()
         try:
-            for i, example in enumerate(examples):
-                matrix[i, j] = lf.vote_in_memory(example)
+            if batched:
+                for start in range(0, n, batch_size):
+                    block = examples[start:start + batch_size]
+                    matrix[start:start + len(block), j] = lf.label_batch(block)
+            else:
+                for i, example in enumerate(examples):
+                    matrix[i, j] = lf.vote_in_memory(example)
         finally:
             if isinstance(lf, LabelingFunction):
                 lf.stop_resources()

@@ -26,13 +26,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.records import DEFAULT_BLOCK_SIZE
 from repro.mapreduce.runner import MapContext, MapReduceJob, MapReduceSpec
 from repro.lf.registry import LFInfo
 from repro.services.base import ModelServer
 from repro.types import ABSTAIN, Example
 
-__all__ = ["AbstractLabelingFunction", "LFRunResult"]
+__all__ = ["AbstractLabelingFunction", "LFRunResult", "VALID_VOTES"]
+
+#: The only legal votes in the binary setting (Section 5.1's ``LFVote``).
+VALID_VOTES = (-1, 0, 1)
 
 
 @dataclass
@@ -82,6 +88,40 @@ class AbstractLabelingFunction:
         """Compute the LF's vote for one example (the engineer's code)."""
         raise NotImplementedError
 
+    def _vote_batch(
+        self, examples: Sequence[Example], service: ModelServer | None
+    ) -> np.ndarray:
+        """Compute votes for a block of examples.
+
+        The default implementation loops :meth:`_vote`, so every existing
+        subclass works on the batched execution path unchanged; pipelines
+        with a vectorized kernel override this and return an ``int8``
+        array of shape ``(len(examples),)``.
+        """
+        # int64 so an out-of-range vote reaches _validate_votes intact
+        # instead of being silently wrapped by an int8 cast.
+        return np.fromiter(
+            (self._vote(example, service) for example in examples),
+            dtype=np.int64,
+            count=len(examples),
+        )
+
+    def _validate_votes(self, votes: np.ndarray, expected: int) -> np.ndarray:
+        """Check a batch of votes and normalize the dtype to ``int8``."""
+        arr = np.asarray(votes)
+        if arr.shape != (expected,):
+            raise ValueError(
+                f"labeling function {self.name!r} returned votes of shape "
+                f"{arr.shape} for a batch of {expected} examples"
+            )
+        if not np.isin(arr, VALID_VOTES).all():
+            bad = arr[~np.isin(arr, VALID_VOTES)][0]
+            raise ValueError(
+                f"labeling function {self.name!r} returned invalid vote "
+                f"{bad!r} (must be -1, 0, or +1)"
+            )
+        return arr.astype(np.int8, copy=False)
+
     # ------------------------------------------------------------------
     # execution = one MapReduce job over the example shards
     # ------------------------------------------------------------------
@@ -93,14 +133,21 @@ class AbstractLabelingFunction:
         parallelism: int = 1,
         tasks_per_node: int = 4,
         fail_injector: Callable[[int, int], None] | None = None,
+        batch_size: int | None = DEFAULT_BLOCK_SIZE,
     ) -> LFRunResult:
-        """Execute this LF over example record files; write vote shards."""
+        """Execute this LF over example record files; write vote shards.
+
+        ``batch_size`` selects the batched mapper path (map tasks consume
+        blocks of records and call :meth:`_vote_batch`); ``None`` selects
+        the per-record mapper. Both produce byte-identical vote shards —
+        the equivalence suite asserts this for every shipped LF.
+        """
 
         def mapper(ctx: MapContext, record: dict) -> None:
             example = Example.from_record(record)
             service = ctx.service if ctx.has_service else None
             vote = self._vote(example, service)
-            if vote not in (-1, 0, 1):
+            if vote not in VALID_VOTES:
                 raise ValueError(
                     f"labeling function {self.name!r} returned invalid vote "
                     f"{vote!r} (must be -1, 0, or +1)"
@@ -112,11 +159,37 @@ class AbstractLabelingFunction:
             ctx.counters.increment("positives" if vote > 0 else "negatives")
             ctx.emit(example.example_id, vote)
 
+        def batch_mapper(ctx: MapContext, records: list[dict]) -> None:
+            examples = [Example.from_record(record) for record in records]
+            service = ctx.service if ctx.has_service else None
+            votes = self._validate_votes(
+                self._vote_batch(examples, service), len(examples)
+            )
+            ctx.counters.increment("examples_seen", len(examples))
+            positives = int(np.count_nonzero(votes > 0))
+            negatives = int(np.count_nonzero(votes < 0))
+            abstains = len(examples) - positives - negatives
+            # Touch only the counters the per-record mapper would have,
+            # so counter *names* match too, not just totals.
+            for name, amount in (
+                ("abstains", abstains),
+                ("positives", positives),
+                ("negatives", negatives),
+            ):
+                if amount:
+                    ctx.counters.increment(name, amount)
+            # Emissions stay in record order: shard bytes match the
+            # per-record path exactly.
+            for i in np.flatnonzero(votes):
+                ctx.emit(examples[i].example_id, int(votes[i]))
+
         spec = MapReduceSpec(
             name=f"lf/{self.name}",
             input_paths=list(input_paths),
             output_base=output_base,
             mapper=mapper,
+            batch_mapper=batch_mapper if batch_size is not None else None,
+            map_block_size=batch_size or DEFAULT_BLOCK_SIZE,
             reducer=None,
             parallelism=parallelism,
             tasks_per_node=tasks_per_node,
@@ -153,6 +226,28 @@ class AbstractLabelingFunction:
             return self._vote(example, None)
         service = self._ensure_local_service(factory)
         return self._vote(example, service)
+
+    def label(self, example: Example) -> int:
+        """Alias for :meth:`vote_in_memory` — the per-example API."""
+        return self.vote_in_memory(example)
+
+    def label_batch(self, examples: Sequence[Example]) -> np.ndarray:
+        """Vote on a block of in-memory examples; returns an ``int8`` array.
+
+        This is the batched counterpart of :meth:`vote_in_memory`: it
+        manages any node-local service, dispatches to :meth:`_vote_batch`
+        (vectorized where the pipeline provides a kernel, per-example
+        fallback otherwise), and validates the result. The equivalence
+        suite asserts ``label_batch(xs) == [label(x) for x in xs]`` for
+        every shipped LF.
+        """
+        examples = list(examples)
+        factory = self._node_service_factory()
+        service = (
+            self._ensure_local_service(factory) if factory is not None else None
+        )
+        votes = self._vote_batch(examples, service)
+        return self._validate_votes(votes, len(examples))
 
     _local_service: ModelServer | None = None
 

@@ -12,11 +12,19 @@ Offline resources it queries (the topic model, the knowledge graph, the
 aggregate store) are declared via ``resources`` so the applier can bring
 them up for the duration of a run — the lifecycle bug of calling a
 stopped service is surfaced loudly by :class:`repro.services.ModelServer`.
+
+A pipeline that can vote on a whole block at once additionally supplies
+``batch_fn`` (``Sequence[Example] -> np.ndarray``); the template
+factories in :mod:`repro.lf.templates` all do, which is what makes the
+batched execution engine fast. Without a ``batch_fn`` the per-example
+``fn`` is looped, so handwritten LFs keep working on the batched path.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.lf.base import AbstractLabelingFunction
 from repro.lf.registry import LFInfo
@@ -29,20 +37,36 @@ __all__ = ["LabelingFunction"]
 class LabelingFunction(AbstractLabelingFunction):
     """Default pipeline: a user function, no per-node services."""
 
+    #: Declarative batch spec (a :class:`repro.lf.templates.TokenMatchSpec`
+    #: or :class:`repro.lf.templates.TopicVetoSpec`), attached by the
+    #: template factories whose vote is a pure function of the example's
+    #: token stream. When present, the in-memory batch applier fuses all
+    #: such LFs into one pass per example.
+    fused_spec = None
+
     def __init__(
         self,
         info: LFInfo,
         fn: Callable[[Example], int],
         resources: Sequence[ModelServer] = (),
+        batch_fn: Callable[[Sequence[Example]], np.ndarray] | None = None,
     ) -> None:
         super().__init__(info)
         self._fn = fn
+        self._batch_fn = batch_fn
         self.resources = list(resources)
 
     def _vote(self, example: Example, service: ModelServer | None) -> int:
         # The default pipeline's template slot has no service argument in
         # the paper; `service` is always None here.
         return self._fn(example)
+
+    def _vote_batch(
+        self, examples: Sequence[Example], service: ModelServer | None
+    ) -> np.ndarray:
+        if self._batch_fn is not None:
+            return self._batch_fn(examples)
+        return super()._vote_batch(examples, service)
 
     # ------------------------------------------------------------------
     # offline resource lifecycle (managed by the applier)
@@ -58,7 +82,14 @@ class LabelingFunction(AbstractLabelingFunction):
     def vote_in_memory(self, example: Example) -> int:
         # Offline resources are started lazily for ad-hoc in-memory use;
         # bulk paths call start_resources()/stop_resources() around runs.
+        self._ensure_resources()
+        return self._fn(example)
+
+    def label_batch(self, examples: Sequence[Example]) -> np.ndarray:
+        self._ensure_resources()
+        return super().label_batch(examples)
+
+    def _ensure_resources(self) -> None:
         for resource in self.resources:
             if not resource.running:
                 resource.start()
-        return self._fn(example)

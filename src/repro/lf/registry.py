@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 __all__ = ["LFCategory", "LFInfo", "LFRegistry"]

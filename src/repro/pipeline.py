@@ -18,7 +18,7 @@ training pipeline which stages the deployment model in a registry.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np

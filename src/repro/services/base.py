@@ -20,7 +20,7 @@ cost model stays visible.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ServiceUnavailable", "ServiceStats", "ModelServer", "FlakyServer"]
 
@@ -109,6 +109,25 @@ class ModelServer:
                 f"be started on each compute node before use"
             )
         self.stats.record_call(self.latency_ms)
+
+    def record_batch_calls(self, n: int) -> None:
+        """Account ``n`` logical calls made through a batch integration.
+
+        Fused batch kernels read service state directly (e.g. the topic
+        model's inverted keyword index) instead of calling the scalar
+        API once per document; this keeps the cost model honest by
+        recording exactly what ``n`` sequential calls would have.
+        """
+        if n < 0:
+            raise ValueError(f"call count must be non-negative, got {n}")
+        if not self._running:
+            self.stats.failures += 1
+            raise ServiceUnavailable(
+                f"{self.name} called while stopped; NLP-style services must "
+                f"be started on each compute node before use"
+            )
+        self.stats.calls += n
+        self.stats.virtual_latency_ms += n * self.latency_ms
 
     def __enter__(self) -> "ModelServer":
         self.start()

@@ -1,7 +1,6 @@
 """Tests for the three case-study LF suites (Section 3)."""
 
 import numpy as np
-import pytest
 
 from repro.applications.events import build_event_lfs, event_featurizer
 from repro.applications.product import build_product_lfs, product_featurizer

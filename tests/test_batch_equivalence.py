@@ -1,0 +1,313 @@
+"""Batch/per-example equivalence for the vectorized execution engine.
+
+The batched engine is only allowed to be *faster* than the per-example
+path, never different: every shipped LF's ``label_batch`` must agree
+vote-for-vote with looping ``label``, the fused in-memory applier must
+agree with the per-example applier, and the block-based MapReduce mapper
+must produce byte-identical vote shards to the per-record mapper.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.experiments.harness import get_content_experiment
+from repro.lf.applier import LFApplier, apply_lfs_in_memory, stage_examples
+from repro.lf.default import LabelingFunction
+from repro.lf.nlp import celebrity_example_lf
+from repro.lf.registry import LFCategory, LFInfo
+from repro.lf.templates import (
+    _fast_tokens,
+    aggregate_threshold_lf,
+    crawler_lf,
+    keyword_lf,
+    kg_category_lf,
+    kg_translation_lf,
+    model_score_lf,
+    pattern_lf,
+    topic_model_lf,
+    url_domain_lf,
+)
+from repro.services.aggregates import AggregateStore
+from repro.services.knowledge_graph import KnowledgeGraph
+from repro.services.nlp_server import NLPServer, tokenize
+from repro.services.topic_model import TopicModel
+from repro.services.web_crawler import WebCrawler
+from repro.types import Example
+
+# ----------------------------------------------------------------------
+# synthetic world
+# ----------------------------------------------------------------------
+WORDS = [
+    "bike", "helmet", "gear", "saddle", "velo", "bicicleta",
+    "car", "phone", "charger", "mortgage", "recipe", "pasta",
+    "loan", "the", "a", "of", "!!bike!!", "bike.", "(helmet)",
+    "mountain bike", "bike-rack", "x", "", "don't", "'tis",
+]
+
+URLS = [
+    "",
+    "https://velo.example/story",
+    "https://spam.example/offer",
+    "https://other.example/page",
+]
+
+
+def make_kg() -> KnowledgeGraph:
+    kg = KnowledgeGraph()
+    kg.add_product("bike", "cycling")
+    kg.add_product("helmet", "cycling", accessory=True)
+    kg.add_product("charger", "phones", accessory=True)
+    kg.add_translation("bike", "fr", "velo")
+    kg.add_translation("bike", "es", "bicicleta")
+    kg.add_translation("helmet", "fr", "casque")
+    return kg
+
+
+def make_topic_model() -> TopicModel:
+    return TopicModel(
+        {
+            "finance": ["mortgage", "loan"],
+            "food": ["recipe", "pasta"],
+            "cycling": ["bike", "helmet", "saddle"],
+            # Overlapping keyword across categories to exercise ties.
+            "commerce": ["loan", "charger"],
+        }
+    )
+
+
+def make_crawler() -> WebCrawler:
+    return WebCrawler(
+        {
+            "velo.example": ("cycling", 0.9),
+            "spam.example": ("gambling", 0.1),
+        }
+    )
+
+
+def make_store() -> AggregateStore:
+    store = AggregateStore()
+    store.start()
+    store.load_batch(
+        {
+            "src1": {"volume": 12.0, "age_days": 3.0},
+            "src2": {"volume": 1.0},
+        }
+    )
+    store.stop()
+    return store
+
+
+def build_suite() -> list[LabelingFunction]:
+    """One LF per template factory, with awkward configurations."""
+    kg = make_kg()
+    return [
+        keyword_lf("kw_pos", ["bike", "helmet", "mountain bike"], 1),
+        keyword_lf("kw_neg", ["mortgage", "recipe"], -1),
+        keyword_lf("kw_title", ["bike", "velo"], 1, fields=("title",)),
+        # Duplicated surfaces + a multi-word surface exercise min_hits.
+        keyword_lf("kw_hits", ["bike", "bike", "helmet", "mountain bike"], 1,
+                   min_hits=2),
+        url_domain_lf("url_velo", ["velo.example"], 1),
+        pattern_lf("pat_long_title", lambda x: len(str(x.fields.get("title", ""))) > 20, -1),
+        topic_model_lf("topic_veto", make_topic_model(), ["finance", "food"], -1),
+        kg_translation_lf("kg_trans", kg, ["bike", "helmet"], ["fr", "es"], 1),
+        kg_category_lf("kg_cat", kg, "cycling", 1),
+        model_score_lf("score_hi", "score", 0.5, 1, view="non_servable"),
+        model_score_lf("score_lo", "score_s", 0.25, -1, above=False, view="servable"),
+        crawler_lf("crawl_cycling", make_crawler(), ["cycling"], 1, min_quality=0.5),
+        aggregate_threshold_lf("agg_volume", make_store(), "volume", 10.0, -1),
+    ]
+
+
+texts = st.lists(st.sampled_from(WORDS), max_size=8).map(" ".join)
+
+
+@st.composite
+def example_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=30))
+    examples = []
+    for i in range(n):
+        fields = {
+            "title": draw(texts),
+            "body": draw(texts),
+            "url": draw(st.sampled_from(URLS)),
+            "source_id": draw(st.sampled_from(["", "src1", "src2", "nope"])),
+        }
+        servable = {}
+        non_servable = {}
+        if draw(st.booleans()):
+            servable["score_s"] = draw(
+                st.floats(min_value=-1, max_value=2, allow_nan=False)
+            )
+        if draw(st.booleans()):
+            non_servable["score"] = draw(
+                st.floats(min_value=-1, max_value=2, allow_nan=False)
+            )
+        examples.append(
+            Example(f"x{i}", fields=fields, servable=servable,
+                    non_servable=non_servable)
+        )
+    return examples
+
+
+# ----------------------------------------------------------------------
+# tokenizer and topic-model kernel equivalence
+# ----------------------------------------------------------------------
+@given(st.text(alphabet=st.characters(min_codepoint=9, max_codepoint=382)))
+@settings(max_examples=200, deadline=None)
+def test_fast_tokens_matches_tokenize(text):
+    assert _fast_tokens(text.lower()) == [t.lower() for t in tokenize(text)]
+
+
+@given(texts)
+@settings(max_examples=100, deadline=None)
+def test_topic_batch_api_matches_scalar(text):
+    model = make_topic_model()
+    with model:
+        scalar = model.top_category(text)
+        tokens = [t.lower() for t in tokenize(text)]
+        batch = model.top_category_from_tokens(tokens)
+    assert scalar == batch
+
+
+def test_topic_batch_api_accounting():
+    model = make_topic_model()
+    with model:
+        model.top_category_from_tokens(["bike"])
+        model.record_batch_calls(3)
+    assert model.stats.calls == 4
+    assert model.stats.virtual_latency_ms == pytest.approx(4 * model.latency_ms)
+
+
+# ----------------------------------------------------------------------
+# per-LF label_batch equivalence
+# ----------------------------------------------------------------------
+@given(example_lists())
+@settings(max_examples=25, deadline=None)
+def test_every_template_lf_label_batch_matches_label(examples):
+    for lf in build_suite():
+        try:
+            lf.start_resources()
+            looped = np.array([lf.label(e) for e in examples], dtype=np.int8)
+            batched = lf.label_batch(examples)
+        finally:
+            lf.stop_resources()
+        assert batched.dtype == np.int8
+        assert np.array_equal(batched, looped), lf.name
+
+
+def test_nlp_lf_label_batch_matches_label():
+    lf = celebrity_example_lf(lambda: NLPServer({"ada lovelace": "person"}))
+    examples = [
+        Example("a", fields={"title": "", "body": "market news today"}),
+        Example("b", fields={"title": "Ada Lovelace", "body": "profile"}),
+        Example("c", fields={"title": "Plain Words here", "body": ""}),
+    ]
+    looped = [lf.label(e) for e in examples]
+    batched = lf.label_batch(examples)
+    lf.close_local_service()
+    assert np.array_equal(batched, np.array(looped))
+
+
+# ----------------------------------------------------------------------
+# fused in-memory applier equivalence
+# ----------------------------------------------------------------------
+@given(example_lists())
+@settings(max_examples=25, deadline=None)
+def test_fused_applier_matches_per_example(examples):
+    lfs = build_suite()
+    batched = apply_lfs_in_memory(lfs, examples, batched=True)
+    per_example = apply_lfs_in_memory(lfs, examples, batched=False)
+    assert batched.lf_names == per_example.lf_names
+    assert batched.example_ids == per_example.example_ids
+    assert np.array_equal(batched.matrix, per_example.matrix)
+
+
+@pytest.mark.parametrize("batch_size", [1, 3, 8192])
+def test_in_memory_batch_size_invariant(batch_size):
+    lfs = build_suite()
+    examples = [
+        Example(f"e{i}", fields={"title": WORDS[i % len(WORDS)],
+                                 "body": WORDS[(2 * i) % len(WORDS)],
+                                 "url": URLS[i % len(URLS)]})
+        for i in range(50)
+    ]
+    reference = apply_lfs_in_memory(lfs, examples, batched=False)
+    batched = apply_lfs_in_memory(lfs, examples, batch_size=batch_size)
+    assert np.array_equal(batched.matrix, reference.matrix)
+
+
+# ----------------------------------------------------------------------
+# batched MapReduce path: byte-identical vote shards
+# ----------------------------------------------------------------------
+def _apply_report(examples, lfs, batch_size):
+    dfs = DistributedFileSystem()
+    paths = stage_examples(dfs, examples, "/eq/examples", num_shards=4)
+    applier = LFApplier(
+        dfs, paths, run_root="/eq/run", parallelism=2, batch_size=batch_size
+    )
+    report = applier.apply(lfs)
+    shard_bytes = {
+        result.lf_name: b"".join(
+            dfs.read_file(path) for path in result.output_paths
+        )
+        for result in report.lf_results
+    }
+    return report, shard_bytes
+
+
+@pytest.mark.parametrize("app", ["product", "topic"])
+def test_mapreduce_batched_output_byte_identical(app):
+    exp = get_content_experiment(app, "tiny")
+    examples = exp.dataset.unlabeled[:200]
+    lfs = exp.lfs
+
+    per_record, bytes_per_record = _apply_report(examples, lfs, batch_size=None)
+    batched, bytes_batched = _apply_report(examples, lfs, batch_size=64)
+
+    assert bytes_batched == bytes_per_record
+    assert np.array_equal(
+        batched.label_matrix.matrix, per_record.label_matrix.matrix
+    )
+    for res_a, res_b in zip(per_record.lf_results, batched.lf_results):
+        assert res_a.examples_seen == res_b.examples_seen
+        assert res_a.votes_emitted == res_b.votes_emitted
+        assert res_a.positives == res_b.positives
+        assert res_a.negatives == res_b.negatives
+        assert res_a.abstains == res_b.abstains
+
+
+# ----------------------------------------------------------------------
+# validation on the batched path
+# ----------------------------------------------------------------------
+def test_label_batch_rejects_invalid_votes():
+    info = LFInfo("bad", LFCategory.CONTENT_HEURISTIC, True)
+    lf = LabelingFunction(
+        info, lambda x: 7, batch_fn=lambda xs: np.full(len(xs), 7)
+    )
+    with pytest.raises(ValueError, match="invalid vote"):
+        lf.label_batch([Example("a")])
+
+
+def test_label_batch_rejects_wrong_shape():
+    info = LFInfo("short", LFCategory.CONTENT_HEURISTIC, True)
+    lf = LabelingFunction(
+        info, lambda x: 0, batch_fn=lambda xs: np.zeros(len(xs) + 1)
+    )
+    with pytest.raises(ValueError, match="shape"):
+        lf.label_batch([Example("a"), Example("b")])
+
+
+def test_batched_run_rejects_invalid_votes(dfs):
+    from repro.mapreduce.runner import WorkerFailure
+
+    info = LFInfo("bad_run", LFCategory.CONTENT_HEURISTIC, True)
+    lf = LabelingFunction(
+        info, lambda x: 7, batch_fn=lambda xs: np.full(len(xs), 7)
+    )
+    examples = [Example(f"x{i}") for i in range(4)]
+    paths = stage_examples(dfs, examples, "/bad/e", num_shards=1)
+    with pytest.raises(WorkerFailure):
+        lf.run(dfs, paths, "/bad/v", batch_size=2)

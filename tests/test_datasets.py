@@ -5,18 +5,13 @@ import pytest
 
 from repro.config import TINY_SCALE
 from repro.datasets import vocab
-from repro.datasets.content import (
-    build_content_world,
-    generate_product_dataset,
-    generate_topic_dataset,
-)
+from repro.datasets.content import generate_topic_dataset
 from repro.datasets.events import (
     AGGREGATE_STATS,
     N_GRAPH_VIEWS,
     N_MODEL_VARIANTS,
     N_OFFLINE_MODELS,
     SERVABLE_SIGNALS,
-    generate_events_dataset,
 )
 from repro.services.nlp_server import tokenize
 

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.dfs.records import iter_record_blobs, read_records
+from repro.dfs.records import iter_record_blobs
 from repro.lf.applier import LFApplier, apply_lfs_in_memory, stage_examples
-from repro.lf.base import AbstractLabelingFunction
 from repro.lf.default import LabelingFunction
 from repro.lf.nlp import NLPLabelingFunction, celebrity_example_lf
 from repro.lf.registry import LFCategory, LFInfo, LFRegistry

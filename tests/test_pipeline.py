@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.applications.topic import build_topic_lfs, topic_featurizer
-from repro.config import TINY_SCALE
 from repro.core.label_model import LabelModelConfig
 from repro.discriminative.logistic import LogisticConfig
 from repro.pipeline import DryBellPipeline
