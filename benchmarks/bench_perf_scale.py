@@ -62,7 +62,22 @@ def test_batched_vs_per_example(benchmark, scale):
     path = perf.update_bench_json(
         "batch_throughput", {"scale": scale, **row}
     )
+    perf.append_bench_history("batch_throughput", {"scale": scale, **row})
     print(f"[bench json updated: {path}]")
+    flag = perf.check_history_trend(
+        "batch_throughput",
+        "batched_examples_per_second",
+        match={"scale": scale, "examples": row["examples"]},
+    )
+    if flag is not None:
+        message = (
+            f"TREND REGRESSION: batched throughput {flag['latest']:,.0f} is "
+            f"{100 * (1 - flag['ratio']):.0f}% below the trailing median "
+            f"{flag['trailing_median']:,.0f} (window {flag['window']})"
+        )
+        print(f"[{message}]")
+        if os.environ.get("REPRO_ENFORCE_TREND") == "1":
+            raise AssertionError(message)
     if row["examples"] >= 20_000:
         assert row["speedup"] >= SPEEDUP_FLOOR, (
             f"batched engine regressed: {row['speedup']:.2f}x < "

@@ -1,0 +1,104 @@
+"""Streaming subsystem benchmark + regression gates.
+
+Runs :func:`repro.experiments.streaming_eval.run_streaming_eval` — the
+micro-batch pipeline over staged DFS record shards, online label model,
+and prequential FTRL end model — and enforces the subsystem's contract:
+
+* **throughput**: streaming labeling sustains >= ``THROUGHPUT_FLOOR`` x
+  the offline batched path (decode + label over the same shards) at the
+  full n >= 20k regime (below it, hosted-runner smoke runs only require
+  loose parity);
+* **bounded memory**: peak resident records never exceed 2 micro-batches
+  (measured by the pipeline's gauge, not assumed);
+* **equivalence**: streamed votes are identical to the offline applier
+  and the online model's post-refit posteriors match an offline fit to
+  <= 1e-6.
+
+Rows land in ``BENCH_perf.json`` (latest snapshot), are appended to
+``BENCH_history.jsonl``, and the trailing-median trend check flags >20%
+throughput regressions that a hard floor would miss. The trend check
+warns by default and fails the run when ``REPRO_ENFORCE_TREND=1``
+(dedicated hardware; hosted CI runners are too noisy to enforce).
+
+Environment knobs: ``REPRO_SCALE`` (dataset scale) and ``REPRO_BENCH_N``
+(example count; CI smoke uses a small value).
+"""
+
+import os
+
+from repro.experiments import perf
+from repro.experiments.streaming_eval import run_streaming_eval
+
+from benchmarks.conftest import emit
+
+#: Example count for the streaming-vs-offline comparison.
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "20000"))
+
+#: Minimum streaming/offline throughput ratio enforced at full scale.
+THROUGHPUT_FLOOR = 0.5
+
+#: Posterior agreement required after the online model's final refit.
+PROBA_TOLERANCE = 1e-6
+
+
+def _trend_gate(section: str, metric: str, match: dict) -> None:
+    """Warn on trend regressions; fail only when explicitly enforced.
+
+    ``match`` pins the comparison to same-configuration history rows so
+    smoke runs (small N) and full runs never share a trend line.
+    """
+    flag = perf.check_history_trend(section, metric, match=match)
+    if flag is None:
+        return
+    message = (
+        f"TREND REGRESSION: {section}.{metric} = {flag['latest']:.1f} is "
+        f"{100 * (1 - flag['ratio']):.0f}% below the trailing median "
+        f"{flag['trailing_median']:.1f} (window {flag['window']})"
+    )
+    print(f"[{message}]")
+    if os.environ.get("REPRO_ENFORCE_TREND") == "1":
+        raise AssertionError(message)
+
+
+def test_streaming_vs_offline(benchmark, scale):
+    """The streaming gate: throughput, bounded memory, equivalence."""
+    result = benchmark.pedantic(
+        lambda: run_streaming_eval(scale=scale, n_examples=BENCH_N),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    row = result.rows[0]
+    perf.update_bench_json("streaming", {"scale": scale, **row})
+    perf.append_bench_history("streaming", {"scale": scale, **row})
+    _trend_gate(
+        "streaming",
+        "streaming_examples_per_second",
+        {"scale": scale, "examples": row["examples"]},
+    )
+
+    # Equivalence and the memory bound hold at every scale.
+    assert row["votes_identical"], (
+        "streamed votes diverged from the offline applier"
+    )
+    assert row["max_proba_diff"] <= PROBA_TOLERANCE, (
+        f"online label model off by {row['max_proba_diff']:.2e} after "
+        f"final refit (tolerance {PROBA_TOLERANCE:.0e})"
+    )
+    assert row["peak_resident_records"] <= row["max_resident_records"], (
+        f"pipeline held {row['peak_resident_records']} records, over the "
+        f"2-micro-batch bound of {row['max_resident_records']}"
+    )
+
+    if row["examples"] >= 20_000:
+        assert row["throughput_ratio"] >= THROUGHPUT_FLOOR, (
+            f"streaming regressed: {row['throughput_ratio']:.2f}x < "
+            f"{THROUGHPUT_FLOOR}x offline at n={row['examples']}"
+        )
+    else:
+        # Smoke regime: scheduling overhead dominates tiny streams.
+        assert row["throughput_ratio"] > 0.15
+    # The learning pass trains a real model; it must at least keep up
+    # with a meaningful fraction of the labeling-only stream.
+    assert row["learning_examples_per_second"] > 0
+    assert 0.0 <= row["stream_f1"] <= 1.0

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Streaming weak supervision: label a live micro-batch stream.
+
+Stages a toy corpus as DFS record shards, then runs the continuous
+pipeline: chunked record ingestion -> micro-batch LF execution (fused
+token-match executor) -> online generative model -> FTRL end model —
+every example seen exactly once, with at most two micro-batches of
+records resident at any moment. Finishes by verifying the streaming run
+against the offline batch pipeline: identical votes, identical
+probabilistic labels after the final refit.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    OnlineLabelModel,
+    OnlineLabelModelConfig,
+    SamplingFreeLabelModel,
+)
+from repro.core.label_model import LabelModelConfig
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.discriminative.logistic import (
+    LogisticConfig,
+    NoiseAwareLogisticRegression,
+)
+from repro.discriminative.metrics import binary_metrics
+from repro.features.extractors import HashedTextFeaturizer
+from repro.lf.applier import apply_lfs_in_memory, stage_examples
+from repro.lf.templates import keyword_lf, url_domain_lf
+from repro.streaming import MicroBatchPipeline, RecordStreamSource
+
+try:
+    from examples.quickstart import make_documents
+except ImportError:  # run as `python examples/streaming_pipeline.py`
+    from quickstart import make_documents
+
+
+def main():
+    examples, gold = make_documents(n=2000, seed=7)
+    lfs = [
+        keyword_lf("kw_sports", ["match", "league", "goal"], vote=1),
+        keyword_lf("kw_cooking", ["recipe", "oven", "chef"], vote=-1),
+        url_domain_lf("url_sports_site", ["pitchside.example"], vote=1),
+    ]
+
+    # 1. Stage the corpus as sharded record files — the stream source
+    #    reads them back chunk by chunk, never as whole-shard blobs.
+    dfs = DistributedFileSystem()
+    shards = stage_examples(dfs, examples, "/demo/examples", num_shards=4)
+    print(f"staged {len(examples)} examples into {len(shards)} record shards")
+
+    # 2. Wire the continuous pipeline: online label model + FTRL
+    #    end model consume each micro-batch as it is labeled.
+    config = LabelModelConfig(n_steps=2500, seed=0)
+    online = OnlineLabelModel(
+        OnlineLabelModelConfig(base=config, refit_every=4)
+    )
+    featurizer = HashedTextFeaturizer(num_buckets=2 ** 12)
+    end_model = NoiseAwareLogisticRegression(
+        featurizer.spec.dimension, LogisticConfig()
+    )
+
+    def sink(seq, batch, votes):
+        online.observe(votes)
+        covered = np.abs(votes).sum(axis=1) > 0
+        if covered.any():
+            soft = online.predict_proba(votes[covered])
+            X = featurizer.transform(
+                [e for e, keep in zip(batch, covered) if keep]
+            )
+            end_model.partial_fit(X, soft, epochs=2)
+
+    pipeline = MicroBatchPipeline(
+        lfs,
+        batch_size=256,
+        max_resident_batches=2,
+        on_batch=sink,
+        collect_votes=True,
+    )
+    report = pipeline.run(RecordStreamSource(dfs, shards))
+    final_model = online.refit()
+
+    print(
+        f"streamed {report.examples} examples in {report.batches} "
+        f"micro-batches at {report.examples_per_second:,.0f} examples/s"
+    )
+    print(
+        f"peak resident records: {report.peak_resident_records} "
+        f"(bound {report.max_resident_records}); "
+        f"backpressure waits: {report.backpressure_waits}"
+    )
+    label_stage = report.stage("label")
+    print(
+        f"labeling stage: {label_stage.records_per_second:,.0f} records/s "
+        f"across {label_stage.batches} batches; "
+        f"mean batch latency {1e3 * report.mean_batch_latency_seconds:.1f}ms"
+    )
+    print(
+        f"online label model: {online.n_observed} votes observed, "
+        f"{online.n_patterns} distinct vote patterns, "
+        f"{online.refits_done} refits"
+    )
+
+    # 3. Verify against the offline batch pipeline.
+    offline_votes = apply_lfs_in_memory(lfs, examples)
+    aligned = offline_votes.select_examples(report.label_matrix.example_ids)
+    assert np.array_equal(report.label_matrix.matrix, aligned.matrix)
+    offline_model = SamplingFreeLabelModel(config).fit(
+        report.label_matrix.matrix
+    )
+    gap = np.max(
+        np.abs(
+            offline_model.predict_proba(report.label_matrix.matrix)
+            - final_model.predict_proba(report.label_matrix.matrix)
+        )
+    )
+    print(
+        "\nstream/offline equivalence: votes identical, "
+        f"posterior gap after final refit = {gap:.2e}"
+    )
+
+    metrics = binary_metrics(gold, end_model.predict_proba(featurizer.transform(examples)))
+    print(
+        f"stream-trained classifier (one pass, 0 hand labels): "
+        f"P={metrics.precision:.3f} R={metrics.recall:.3f} F1={metrics.f1:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

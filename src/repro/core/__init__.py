@@ -7,6 +7,10 @@ Public surface:
 * :class:`SamplingFreeLabelModel` — the Section 5.2 model: per-LF accuracy
   and propensity parameters in log space, trained by exact minibatch
   gradient descent on the marginal likelihood of the observed label matrix.
+* :class:`OnlineLabelModel` — the streaming counterpart: vote-moment
+  accumulation, incremental exact-gradient updates, and periodic full
+  refits that reproduce the offline fit exactly (``repro.streaming``
+  feeds it micro-batches).
 * :class:`MulticlassLabelModel` — the categorical-target generalization
   mentioned in Section 2.
 * :class:`GibbsLabelModel` — the original-Snorkel Gibbs-sampling trainer,
@@ -22,6 +26,10 @@ Public surface:
 """
 
 from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.core.online_label_model import (
+    OnlineLabelModel,
+    OnlineLabelModelConfig,
+)
 from repro.core.multiclass import MulticlassLabelModel
 from repro.core.gibbs import GibbsLabelModel
 from repro.core.combiners import (
@@ -42,6 +50,8 @@ from repro.core.noise_aware import (
 __all__ = [
     "LabelModelConfig",
     "SamplingFreeLabelModel",
+    "OnlineLabelModel",
+    "OnlineLabelModelConfig",
     "MulticlassLabelModel",
     "GibbsLabelModel",
     "StructuredLabelModel",

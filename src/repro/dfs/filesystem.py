@@ -27,6 +27,7 @@ import threading
 
 __all__ = [
     "DistributedFileSystem",
+    "DFSReadHandle",
     "DFSError",
     "FileNotFound",
     "shard_name",
@@ -159,13 +160,43 @@ class DistributedFileSystem:
             except KeyError:
                 raise FileNotFound(path) from None
 
+    def read_at(self, path: str, offset: int, size: int) -> bytes:
+        """Read up to ``size`` bytes of a finalized file from ``offset``.
+
+        This is the positional-read primitive real distributed
+        filesystems expose (``pread``): readers pull one chunk at a time
+        instead of materializing whole shards, which is what keeps
+        streaming consumers at bounded memory. Short reads at EOF return
+        the available suffix; reads past EOF return ``b""``.
+        """
+        if offset < 0 or size < 0:
+            raise DFSError(
+                f"read_at needs offset/size >= 0, got ({offset}, {size})"
+            )
+        path = _normalize(path)
+        with self._lock:
+            try:
+                data = self._files[path]
+            except KeyError:
+                raise FileNotFound(path) from None
+            return data[offset:offset + size]
+
+    def open_read(self, path: str) -> "DFSReadHandle":
+        """Open a sequential read handle on a finalized file."""
+        return DFSReadHandle(self, path, self.size(path))
+
     def exists(self, path: str) -> bool:
         path = _normalize(path)
         with self._lock:
             return path in self._files
 
     def size(self, path: str) -> int:
-        return len(self.read_file(path))
+        path = _normalize(path)
+        with self._lock:
+            try:
+                return len(self._files[path])
+            except KeyError:
+                raise FileNotFound(path) from None
 
     def delete(self, path: str) -> None:
         path = _normalize(path)
@@ -251,3 +282,47 @@ class DistributedFileSystem:
             self.write_file(dst, self.read_file(path))
             copied.append(dst)
         return copied
+
+
+class DFSReadHandle:
+    """Sequential read cursor over one finalized DFS file.
+
+    Every ``read`` goes through :meth:`DistributedFileSystem.read_at`, so
+    a consumer holding a handle keeps only its current chunk in its own
+    memory — the streaming record reader and the micro-batch ingestion
+    path are built on this. DFS files are immutable once finalized, so a
+    handle never observes concurrent mutation.
+    """
+
+    def __init__(
+        self, dfs: "DistributedFileSystem", path: str, size: int
+    ) -> None:
+        self._dfs = dfs
+        self.path = path
+        self.size = size
+        self._offset = 0
+        self._closed = False
+
+    def read(self, size: int) -> bytes:
+        """Read up to ``size`` bytes; ``b""`` at EOF."""
+        if self._closed:
+            raise DFSError(f"read on closed handle for {self.path}")
+        chunk = self._dfs.read_at(self.path, self._offset, size)
+        self._offset += len(chunk)
+        return chunk
+
+    def tell(self) -> int:
+        return self._offset
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.size - self._offset)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "DFSReadHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -93,6 +93,36 @@ class NoiseAwareLogisticRegression:
             self.iterations_run += 1
         return self
 
+    def partial_fit(
+        self,
+        X: sparse.csr_matrix,
+        soft_targets: np.ndarray,
+        epochs: int = 1,
+    ) -> "NoiseAwareLogisticRegression":
+        """One (or a few) FTRL passes over a micro-batch, in row order.
+
+        The streaming path: probabilistic labels arrive one micro-batch
+        at a time and FTRL is already an online, per-coordinate
+        algorithm, so the end model trains as the stream flows — no
+        buffered dataset, no iteration budget. State accumulates across
+        calls exactly as it does across :meth:`fit` iterations.
+        """
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        X = sparse.csr_matrix(X)
+        soft = np.asarray(soft_targets, dtype=np.float64)
+        if X.shape[0] != soft.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but {soft.shape[0]} targets"
+            )
+        if soft.size and (np.any(soft < 0) or np.any(soft > 1)):
+            raise ValueError("soft targets must lie in [0, 1]")
+        for _ in range(epochs):
+            for i in range(X.shape[0]):
+                self._update_one(X, i, soft[i], 1.0)
+        self.iterations_run += epochs
+        return self
+
     def _update_one(
         self, X: sparse.csr_matrix, i: int, target: float, weight: float
     ) -> None:

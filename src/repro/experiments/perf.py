@@ -53,6 +53,9 @@ __all__ = [
     "measure_label_model_steps_per_second",
     "bench_json_path",
     "update_bench_json",
+    "bench_history_path",
+    "append_bench_history",
+    "check_history_trend",
 ]
 
 
@@ -82,6 +85,102 @@ def update_bench_json(section: str, payload: dict, path: str | None = None) -> s
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def bench_history_path() -> str:
+    """``BENCH_history.jsonl`` at the repository root."""
+    return os.path.join(os.path.dirname(results_path()), "BENCH_history.jsonl")
+
+
+def append_bench_history(
+    section: str, payload: dict, path: str | None = None
+) -> str:
+    """Append one benchmark row to the append-only history log.
+
+    ``BENCH_perf.json`` is a latest-snapshot; the JSONL history keeps
+    every run so the trend gate can flag *gradual* regressions that
+    never trip a hard floor in any single run. One line per (run,
+    section), stamped with wall-clock time and the Python version.
+    Returns the path written.
+    """
+    path = path or bench_history_path()
+    entry = {
+        "section": section,
+        "recorded_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        **payload,
+    }
+    with open(path, "a") as handle:
+        json.dump(entry, handle, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def check_history_trend(
+    section: str,
+    metric: str,
+    higher_is_better: bool = True,
+    window: int = 10,
+    tolerance: float = 0.20,
+    min_history: int = 3,
+    path: str | None = None,
+    match: dict | None = None,
+) -> dict | None:
+    """Compare the latest history entry against its trailing median.
+
+    Reads the last ``window`` prior entries for ``(section, metric)``
+    and flags the newest one when it regresses more than ``tolerance``
+    (default 20%) from their median — the complement of the hard
+    speedup floors, which only catch cliff-edge regressions. ``match``
+    restricts the series to entries whose fields equal the given values
+    (e.g. ``{"scale": "small", "examples": 20000}``) so smoke runs and
+    full runs never share a trend line. Returns a diagnostic dict when
+    flagged, ``None`` when healthy or when fewer than ``min_history``
+    prior runs exist (fresh checkouts and CI machines with no baseline
+    stay green).
+    """
+    path = path or bench_history_path()
+    if not os.path.exists(path):
+        return None
+    values: list[float] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if entry.get("section") != section or metric not in entry:
+                continue
+            if match and any(
+                entry.get(key) != value for key, value in match.items()
+            ):
+                continue
+            values.append(float(entry[metric]))
+    if len(values) < min_history + 1:
+        return None
+    latest = values[-1]
+    trailing = values[-(window + 1):-1]
+    median = float(np.median(trailing))
+    if median <= 0:
+        return None
+    ratio = latest / median
+    regressed = ratio < (1.0 - tolerance) if higher_is_better else (
+        ratio > (1.0 + tolerance)
+    )
+    if not regressed:
+        return None
+    return {
+        "section": section,
+        "metric": metric,
+        "latest": latest,
+        "trailing_median": median,
+        "ratio": ratio,
+        "window": len(trailing),
+        "tolerance": tolerance,
+    }
 
 
 def measure_label_model_steps_per_second(

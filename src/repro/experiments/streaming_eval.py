@@ -1,0 +1,270 @@
+"""End-to-end streaming weak supervision: stream, label, learn online.
+
+The offline pipeline stages a corpus, labels it, fits the generative
+model, then trains the discriminative model. This experiment runs the
+same workload as a *continuous* micro-batch stream:
+
+    DFS record shards --chunked reads--> MicroBatchPipeline
+        --per-batch votes--> OnlineLabelModel (incremental + refits)
+        --probabilistic labels--> FTRL logistic end model (partial_fit)
+
+and compares it against the offline batched path on three axes:
+
+* **throughput** — sustained streaming examples/second vs the offline
+  batched job over the same staged shards (decode + label), plus the
+  in-memory labeling-only rate for context;
+* **equivalence** — streamed votes must be vote-for-vote identical to
+  the offline applier (id-aligned), and the online model after its
+  final refit must produce the same probabilistic labels as an offline
+  :class:`SamplingFreeLabelModel` fit on the same stream;
+* **quality** — test-set F1 of the stream-trained FTRL end model
+  relative to the offline DryBell arm (which trains thousands of
+  buffered FTRL iterations; the streaming model sees every example
+  once, as it arrives).
+
+``benchmarks/bench_streaming.py`` turns the first two axes into hard
+gates and feeds the rows into ``BENCH_perf.json`` / the trend history.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED
+from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.core.online_label_model import OnlineLabelModel, OnlineLabelModelConfig
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.records import iter_record_blobs
+from repro.discriminative.logistic import (
+    LogisticConfig,
+    NoiseAwareLogisticRegression,
+)
+from repro.discriminative.metrics import binary_metrics
+from repro.experiments.harness import (
+    ExperimentResult,
+    get_content_experiment,
+)
+from repro.lf.applier import apply_lfs_in_memory, stage_examples
+from repro.streaming import MicroBatchPipeline, RecordStreamSource
+from repro.types import Example
+
+__all__ = ["run_streaming_eval", "DEFAULT_MICRO_BATCH"]
+
+#: Default micro-batch size: big enough that the fused executor and
+#: NumPy kernels dominate dispatch, small enough that two resident
+#: batches stay far below a shard's worth of records.
+DEFAULT_MICRO_BATCH = 2048
+
+
+def run_streaming_eval(
+    scale: str | None = None,
+    seed: int = DEFAULT_SEED,
+    n_examples: int = 20_000,
+    batch_size: int = DEFAULT_MICRO_BATCH,
+    refit_every: int | None = None,
+    num_shards: int = 8,
+    end_model_epochs: int = 2,
+) -> ExperimentResult:
+    """Stream the product workload end to end; returns the comparison.
+
+    ``refit_every`` is the online model's full-refit cadence in
+    micro-batches (``None`` = one refit at stream end, the cheapest
+    schedule that still yields offline-exact parameters).
+    ``end_model_epochs`` is how many FTRL passes the prequential end
+    model takes over each micro-batch before it is discarded.
+    """
+    exp = get_content_experiment("product", scale, seed)
+    pool = exp.dataset.unlabeled
+    n = min(n_examples, len(pool))
+    lfs = exp.lfs
+    featurizer = exp.featurizer
+
+    # ------------------------------------------------------------------
+    # stage the corpus once; both arms consume the same shards
+    # ------------------------------------------------------------------
+    dfs = DistributedFileSystem()
+    shard_paths = stage_examples(
+        dfs, pool[:n], "/streaming/examples", num_shards=num_shards
+    )
+
+    # ------------------------------------------------------------------
+    # offline arm: decode everything, label everything, fit once
+    # ------------------------------------------------------------------
+    offline_start = time.perf_counter()
+    offline_examples = [
+        Example.from_record(record)
+        for record in iter_record_blobs(dfs, shard_paths)
+    ]
+    L_offline = apply_lfs_in_memory(lfs, offline_examples)
+    offline_wall = time.perf_counter() - offline_start
+    offline_eps = n / offline_wall if offline_wall > 0 else float("inf")
+
+    # In-memory labeling-only rate (no decode, cold token memos).
+    from repro.experiments.perf import _clone_examples
+
+    cloned = _clone_examples(offline_examples)
+    label_only_start = time.perf_counter()
+    apply_lfs_in_memory(lfs, cloned)
+    label_only_wall = time.perf_counter() - label_only_start
+    label_only_eps = (
+        n / label_only_wall if label_only_wall > 0 else float("inf")
+    )
+
+    fit_start = time.perf_counter()
+    offline_model = SamplingFreeLabelModel(LabelModelConfig(seed=seed))
+    offline_model.fit(L_offline.matrix)
+    offline_fit_seconds = time.perf_counter() - fit_start
+
+    # ------------------------------------------------------------------
+    # streaming labeling pass: micro-batches feed the online label model
+    # (this is the throughput + equivalence arm — the work an always-on
+    # labeling service performs per example)
+    # ------------------------------------------------------------------
+    online = OnlineLabelModel(
+        OnlineLabelModelConfig(
+            base=LabelModelConfig(seed=seed),
+            refit_every=refit_every,
+            seed=seed,
+        )
+    )
+    pipeline = MicroBatchPipeline(
+        lfs,
+        batch_size=batch_size,
+        max_resident_batches=2,
+        on_batch=lambda _seq, _examples, votes: online.observe(votes),
+        collect_votes=True,
+    )
+    report = pipeline.run(RecordStreamSource(dfs, shard_paths))
+    final_model = online.refit()
+
+    # ------------------------------------------------------------------
+    # streaming learning pass: a fresh one-pass run where probabilistic
+    # labels from the evolving online model train the FTRL end model
+    # prequentially (every example seen exactly once, as it arrives)
+    # ------------------------------------------------------------------
+    online_preq = OnlineLabelModel(
+        OnlineLabelModelConfig(
+            base=LabelModelConfig(seed=seed),
+            refit_every=refit_every,
+            seed=seed,
+        )
+    )
+    end_model = NoiseAwareLogisticRegression(
+        featurizer.spec.dimension,
+        LogisticConfig(alpha=0.2, seed=seed),
+    )
+
+    def learning_sink(
+        _seq: int, examples: list[Example], votes: np.ndarray
+    ) -> None:
+        online_preq.observe(votes)
+        # Probabilistic labels from the *current* parameter estimate
+        # flow straight to the online end model; covered rows only
+        # (all-abstain rows carry no signal).
+        covered = np.abs(votes).sum(axis=1) > 0
+        if covered.any():
+            soft = online_preq.predict_proba(votes[covered])
+            X = featurizer.transform(
+                [e for e, keep in zip(examples, covered) if keep]
+            )
+            end_model.partial_fit(X, soft, epochs=end_model_epochs)
+
+    learning_pipeline = MicroBatchPipeline(
+        lfs,
+        batch_size=batch_size,
+        max_resident_batches=2,
+        on_batch=learning_sink,
+    )
+    learning_report = learning_pipeline.run(
+        RecordStreamSource(dfs, shard_paths)
+    )
+
+    # ------------------------------------------------------------------
+    # equivalence: votes and (post-refit) probabilistic labels
+    # ------------------------------------------------------------------
+    L_stream = report.label_matrix
+    aligned = L_offline.select_examples(L_stream.example_ids)
+    votes_identical = bool(np.array_equal(L_stream.matrix, aligned.matrix))
+    # The reference fit sees the stream's matrix (same rows, stream
+    # order) so minibatch draws coincide; posteriors must then agree.
+    reference = SamplingFreeLabelModel(LabelModelConfig(seed=seed))
+    reference.fit(L_stream.matrix)
+    max_proba_diff = float(
+        np.max(
+            np.abs(
+                reference.predict_proba(L_stream.matrix)
+                - final_model.predict_proba(L_stream.matrix)
+            )
+        )
+        if L_stream.n_examples
+        else 0.0
+    )
+
+    # ------------------------------------------------------------------
+    # end-model quality vs the offline DryBell arm
+    # ------------------------------------------------------------------
+    stream_metrics = binary_metrics(
+        exp.y_test, end_model.predict_proba(exp.X_test)
+    )
+    offline_metrics = exp.drybell_metrics
+    f1_ratio = (
+        stream_metrics.f1 / offline_metrics.f1
+        if offline_metrics.f1 > 0
+        else float("inf")
+    )
+
+    throughput_ratio = (
+        report.examples_per_second / offline_eps if offline_eps > 0 else 0.0
+    )
+    lines = [
+        "Streaming weak supervision: micro-batch pipeline vs offline batch "
+        f"({n:,} examples, {len(lfs)} LFs, micro-batch {batch_size})",
+        "",
+        f"{'streaming labeling':<34} {report.examples_per_second:>12,.0f} examples/s",
+        f"{'offline batch (decode + label)':<34} {offline_eps:>12,.0f} examples/s",
+        f"{'  in-memory labeling only':<34} {label_only_eps:>12,.0f} examples/s",
+        f"{'streaming / offline':<34} {throughput_ratio:>12.2f}x",
+        f"{'streaming + end-model training':<34} "
+        f"{learning_report.examples_per_second:>12,.0f} examples/s",
+        f"{'peak resident records':<34} {report.peak_resident_records:>12,} "
+        f"(bound: {report.max_resident_records:,} = 2 micro-batches)",
+        f"{'backpressure waits':<34} {report.backpressure_waits:>12,}",
+        f"{'mean / max batch latency':<34} "
+        f"{1e3 * report.mean_batch_latency_seconds:>7.1f}ms / "
+        f"{1e3 * report.max_batch_latency_seconds:.1f}ms",
+        f"{'votes identical to offline':<34} {str(votes_identical):>12}",
+        f"{'posterior gap after final refit':<34} {max_proba_diff:>12.2e}",
+        f"{'offline label-model fit':<34} {offline_fit_seconds:>11.2f}s "
+        f"(online refits: {online.refits_done}, "
+        f"{online.n_patterns} vote patterns retained)",
+        f"{'stream-trained end model F1':<34} {stream_metrics.f1:>12.3f} "
+        f"({100 * f1_ratio:.1f}% of offline arm F1 {offline_metrics.f1:.3f})",
+    ]
+    rows = [
+        {
+            "examples": n,
+            "lfs": len(lfs),
+            "micro_batch": batch_size,
+            "streaming_examples_per_second": report.examples_per_second,
+            "offline_examples_per_second": offline_eps,
+            "label_only_examples_per_second": label_only_eps,
+            "learning_examples_per_second": (
+                learning_report.examples_per_second
+            ),
+            "throughput_ratio": throughput_ratio,
+            "peak_resident_records": report.peak_resident_records,
+            "max_resident_records": report.max_resident_records,
+            "backpressure_waits": report.backpressure_waits,
+            "mean_batch_latency_seconds": report.mean_batch_latency_seconds,
+            "max_batch_latency_seconds": report.max_batch_latency_seconds,
+            "votes_identical": votes_identical,
+            "max_proba_diff": max_proba_diff,
+            "vote_patterns": online.n_patterns,
+            "stream_f1": stream_metrics.f1,
+            "offline_f1": offline_metrics.f1,
+            "f1_ratio": f1_ratio,
+        }
+    ]
+    return ExperimentResult("streaming_eval", "\n".join(lines), rows)

@@ -31,10 +31,17 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.dfs.filesystem import DistributedFileSystem
-from repro.dfs.records import DEFAULT_BLOCK_SIZE, iter_record_blobs, write_records
+from repro.dfs.filesystem import DistributedFileSystem, shard_name
+from repro.dfs.records import (
+    DEFAULT_BLOCK_SIZE,
+    RecordReader,
+    RecordWriter,
+    iter_record_blobs,
+    write_records,
+)
 from repro.lf.base import AbstractLabelingFunction, LFRunResult
 from repro.lf.default import LabelingFunction
+from repro.mapreduce.runner import MapContext, MapReduceJob, MapReduceSpec
 from repro.types import Example, LabelMatrix
 
 __all__ = [
@@ -42,6 +49,10 @@ __all__ = [
     "ApplyReport",
     "stage_examples",
     "apply_lfs_in_memory",
+    "fused_lf_columns",
+    "label_example_block",
+    "start_lf_resources",
+    "stop_lf_resources",
     "DEFAULT_MEMORY_BATCH",
 ]
 
@@ -91,6 +102,170 @@ def stage_examples(
     return paths
 
 
+def fused_lf_columns(lfs: Sequence[AbstractLabelingFunction]) -> list[int]:
+    """Indices of LFs carrying a declarative fused batch spec."""
+    return [
+        j for j, lf in enumerate(lfs)
+        if getattr(lf, "fused_spec", None) is not None
+    ]
+
+
+def start_lf_resources(lfs: Sequence[AbstractLabelingFunction]) -> None:
+    """Bring up every LF's offline resources for a bulk run."""
+    for lf in lfs:
+        if isinstance(lf, LabelingFunction):
+            lf.start_resources()
+
+
+def stop_lf_resources(lfs: Sequence[AbstractLabelingFunction]) -> None:
+    """Tear down resources and any node-local services after a run."""
+    for lf in lfs:
+        if isinstance(lf, LabelingFunction):
+            lf.stop_resources()
+        lf.close_local_service()
+
+
+def label_example_block(
+    lfs: Sequence[AbstractLabelingFunction],
+    examples: Sequence[Example],
+    fused_cols: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Vote every LF on one in-memory block; returns ``(n, m)`` int8.
+
+    The single batched-labeling kernel shared by the offline applier and
+    the micro-batch streaming pipeline: LFs with a fused spec are
+    evaluated in one tokenize-once pass (:func:`apply_fused_batch_specs`)
+    and the rest through their ``label_batch`` kernels. Callers manage
+    resource lifecycle (:func:`start_lf_resources` /
+    :func:`stop_lf_resources`) around the run.
+    """
+    if fused_cols is None:
+        fused_cols = fused_lf_columns(lfs)
+    votes = np.zeros((len(examples), len(lfs)), dtype=np.int8)
+    if not examples:
+        return votes
+    fused_set = frozenset(fused_cols)
+    if fused_cols:
+        from repro.lf.templates import apply_fused_batch_specs
+
+        votes[:, list(fused_cols)] = apply_fused_batch_specs(
+            [lfs[j].fused_spec for j in fused_cols], examples
+        )
+    for j, lf in enumerate(lfs):
+        if j not in fused_set:
+            votes[:, j] = lf.label_batch(examples)
+    return votes
+
+
+def _run_fused_lf_group(
+    dfs: DistributedFileSystem,
+    fused: Sequence[tuple[int, AbstractLabelingFunction]],
+    example_paths: Sequence[str],
+    run_root: str,
+    parallelism: int,
+    batch_size: int,
+) -> dict[int, LFRunResult]:
+    """Run every fused-spec LF as ONE MapReduce job over the examples.
+
+    The per-LF execution model re-tokenizes every record once per LF
+    binary; this job instead calls :func:`apply_fused_batch_specs` in its
+    block mapper — one tokenization and one inverted-index probe per
+    record for the whole group — then demultiplexes the combined vote
+    shards into per-LF shard files that are byte-identical to what each
+    LF's own job would have written (asserted by the equivalence suite).
+    Returns ``{lf column -> LFRunResult}``.
+    """
+    from repro.lf.templates import apply_fused_batch_specs
+
+    specs = [lf.fused_spec for _, lf in fused]
+    names = [lf.name for _, lf in fused]
+    start = time.perf_counter()
+
+    def batch_mapper(ctx: MapContext, records: list[dict]) -> None:
+        examples = [Example.from_record(record) for record in records]
+        votes = apply_fused_batch_specs(specs, examples)
+        ctx.counters.increment("examples_seen", len(examples))
+        for k, name in enumerate(names):
+            column = votes[:, k]
+            positives = int(np.count_nonzero(column > 0))
+            negatives = int(np.count_nonzero(column < 0))
+            abstains = len(examples) - positives - negatives
+            for suffix, amount in (
+                ("abstains", abstains),
+                ("positives", positives),
+                ("negatives", negatives),
+            ):
+                if amount:
+                    ctx.counters.increment(f"{name}/{suffix}", amount)
+        # Emit one combined record per example with any non-abstain vote,
+        # in record order, so the demux below can rebuild each LF's
+        # sparse vote file exactly.
+        for i in np.flatnonzero(np.any(votes != 0, axis=1)):
+            ctx.emit(
+                examples[i].example_id, [int(v) for v in votes[i]]
+            )
+
+    spec = MapReduceSpec(
+        name="lf/_fused",
+        input_paths=list(example_paths),
+        output_base=f"{run_root}/_fused/votes",
+        mapper=None,
+        batch_mapper=batch_mapper,
+        map_block_size=batch_size,
+        reducer=None,
+        parallelism=parallelism,
+    )
+    result = MapReduceJob(dfs, spec).run()
+
+    # Demux: split each combined shard into per-LF vote shards under the
+    # same names the per-LF jobs use. One read of the combined shard
+    # feeds every LF's writer; emissions stay in record order, so shard
+    # bytes match the unfused path exactly.
+    n_shards = len(result.output_paths)
+    output_paths: list[list[str]] = [[] for _ in fused]
+    votes_out = [0] * len(fused)
+    for s, combined_path in enumerate(result.output_paths):
+        writers: list[RecordWriter] = []
+        try:
+            for k, (_, lf) in enumerate(fused):
+                out = shard_name(f"{run_root}/{lf.name}/votes", s, n_shards)
+                writers.append(RecordWriter(dfs, out))
+                output_paths[k].append(out)
+            for record in RecordReader(dfs, combined_path):
+                key = record["key"]
+                for k, vote in enumerate(record["value"]):
+                    if vote:
+                        writers[k].write({"key": key, "value": int(vote)})
+                        votes_out[k] += 1
+        except BaseException:
+            for writer in writers:
+                writer.abandon()
+            raise
+        for writer in writers:
+            writer.close()
+        # The combined shard is a demux intermediate; nothing reads it
+        # after this point, so release the bytes.
+        dfs.delete(combined_path)
+
+    wall = time.perf_counter() - start
+    counters = result.counters
+    results: dict[int, LFRunResult] = {}
+    for k, (col, lf) in enumerate(fused):
+        results[col] = LFRunResult(
+            lf_name=lf.name,
+            output_paths=output_paths[k],
+            examples_seen=counters.value("examples_seen"),
+            votes_emitted=votes_out[k],
+            positives=counters.value(f"{lf.name}/positives"),
+            negatives=counters.value(f"{lf.name}/negatives"),
+            abstains=counters.value(f"{lf.name}/abstains"),
+            # The group shares one job; each LF reports the group wall.
+            wall_seconds=wall,
+            nodes_used=result.node_count,
+        )
+    return results
+
+
 class LFApplier:
     """Runs a set of LF binaries over staged examples and joins votes."""
 
@@ -119,22 +294,51 @@ class LFApplier:
         id_index = {eid: i for i, eid in enumerate(example_ids)}
         matrix = np.zeros((len(example_ids), len(lfs)), dtype=np.int8)
 
+        # Batched runs execute every fused-spec LF as one MapReduce job
+        # (tokenize once per record for the whole group); fusing only
+        # pays with at least two participants.
+        fused_results: dict[int, LFRunResult] = {}
+        if self._batch_size is not None:
+            fused = [
+                (j, lfs[j]) for j in fused_lf_columns(lfs)
+            ]
+            if len(fused) >= 2:
+                for _, lf in fused:
+                    if isinstance(lf, LabelingFunction):
+                        lf.start_resources()
+                try:
+                    fused_results = _run_fused_lf_group(
+                        self._dfs,
+                        fused,
+                        self._example_paths,
+                        self._run_root,
+                        self._parallelism,
+                        self._batch_size,
+                    )
+                finally:
+                    for _, lf in fused:
+                        if isinstance(lf, LabelingFunction):
+                            lf.stop_resources()
+
         lf_results = []
         for j, lf in enumerate(lfs):
-            if isinstance(lf, LabelingFunction):
-                lf.start_resources()
-            try:
-                output_base = f"{self._run_root}/{lf.name}/votes"
-                result = lf.run(
-                    self._dfs,
-                    self._example_paths,
-                    output_base,
-                    parallelism=self._parallelism,
-                    batch_size=self._batch_size,
-                )
-            finally:
+            if j in fused_results:
+                result = fused_results[j]
+            else:
                 if isinstance(lf, LabelingFunction):
-                    lf.stop_resources()
+                    lf.start_resources()
+                try:
+                    output_base = f"{self._run_root}/{lf.name}/votes"
+                    result = lf.run(
+                        self._dfs,
+                        self._example_paths,
+                        output_base,
+                        parallelism=self._parallelism,
+                        batch_size=self._batch_size,
+                    )
+                finally:
+                    if isinstance(lf, LabelingFunction):
+                        lf.stop_resources()
             lf_results.append(result)
             rows: list[int] = []
             values: list[int] = []
@@ -179,47 +383,32 @@ def apply_lfs_in_memory(
     n, m = len(examples), len(lfs)
     matrix = np.zeros((n, m), dtype=np.int8)
 
-    # Keyword-style LFs carry a declarative TokenMatchSpec; fuse them so
-    # each example is tokenized and index-probed once for the whole
-    # group instead of once per LF.
-    fused_cols: list[int] = []
     if batched:
-        fused_cols = [
-            j for j, lf in enumerate(lfs)
-            if getattr(lf, "fused_spec", None) is not None
-        ]
-    if fused_cols:
-        from repro.lf.templates import apply_fused_batch_specs
-
-        fused_lfs = [lfs[j] for j in fused_cols]
-        for lf in fused_lfs:
-            lf.start_resources()
+        # Keyword-style LFs carry a declarative TokenMatchSpec; fuse them
+        # so each example is tokenized and index-probed once for the
+        # whole group instead of once per LF. The same block kernel
+        # drives the streaming pipeline's micro-batches.
+        fused_cols = fused_lf_columns(lfs)
+        start_lf_resources(lfs)
         try:
-            fused_votes = apply_fused_batch_specs(
-                [lf.fused_spec for lf in fused_lfs], examples
-            )
-            matrix[:, fused_cols] = fused_votes
+            for start in range(0, n, batch_size):
+                block = examples[start:start + batch_size]
+                matrix[start:start + len(block)] = label_example_block(
+                    lfs, block, fused_cols
+                )
         finally:
-            for lf in fused_lfs:
-                lf.stop_resources()
-
-    for j, lf in enumerate(lfs):
-        if j in fused_cols:
-            continue
-        if isinstance(lf, LabelingFunction):
-            lf.start_resources()
-        try:
-            if batched:
-                for start in range(0, n, batch_size):
-                    block = examples[start:start + batch_size]
-                    matrix[start:start + len(block), j] = lf.label_batch(block)
-            else:
+            stop_lf_resources(lfs)
+    else:
+        for j, lf in enumerate(lfs):
+            if isinstance(lf, LabelingFunction):
+                lf.start_resources()
+            try:
                 for i, example in enumerate(examples):
                     matrix[i, j] = lf.vote_in_memory(example)
-        finally:
-            if isinstance(lf, LabelingFunction):
-                lf.stop_resources()
-            lf.close_local_service()
+            finally:
+                if isinstance(lf, LabelingFunction):
+                    lf.stop_resources()
+                lf.close_local_service()
     return LabelMatrix(
         matrix,
         [e.example_id for e in examples],

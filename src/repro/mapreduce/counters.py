@@ -3,7 +3,10 @@
 Google MapReduce exposes named counters aggregated across workers; the LF
 templates use them to report votes emitted, abstains, and model-server
 calls. Counters are the primary observability channel for labeling-function
-runs in this reproduction (surfaced by ``repro.lf.applier``).
+runs in this reproduction (surfaced by ``repro.lf.applier``) and for the
+micro-batch streaming pipeline (``repro.streaming``), which additionally
+tracks level quantities — queue depth, resident records — through
+:class:`Gauge`.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ import threading
 from collections import Counter
 from typing import Iterable, Mapping
 
-__all__ = ["CounterSet"]
+__all__ = ["CounterSet", "Gauge"]
 
 
 class CounterSet:
@@ -60,3 +63,53 @@ class CounterSet:
         for part in parts:
             total.merge(part)
         return total
+
+
+class Gauge:
+    """A thread-safe level meter that remembers its high-water mark.
+
+    Counters only go up; a gauge tracks a *current* level (records
+    resident in a pipeline, batches queued) that rises and falls, plus
+    the peak it ever reached. The streaming benchmarks assert their
+    bounded-memory claim against :attr:`peak`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current = 0
+        self._peak = 0
+
+    def add(self, amount: int) -> int:
+        """Raise the level; returns the new value."""
+        if amount < 0:
+            raise ValueError("use subtract() to lower a gauge")
+        with self._lock:
+            self._current += amount
+            if self._current > self._peak:
+                self._peak = self._current
+            return self._current
+
+    def subtract(self, amount: int) -> int:
+        """Lower the level; returns the new value."""
+        if amount < 0:
+            raise ValueError("gauge decrements must be non-negative")
+        with self._lock:
+            if amount > self._current:
+                raise ValueError(
+                    f"gauge cannot go negative ({self._current} - {amount})"
+                )
+            self._current -= amount
+            return self._current
+
+    @property
+    def current(self) -> int:
+        with self._lock:
+            return self._current
+
+    @property
+    def peak(self) -> int:
+        with self._lock:
+            return self._peak
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge(current={self.current}, peak={self.peak})"

@@ -1,0 +1,55 @@
+"""Micro-batch streaming weak supervision.
+
+The paper's deployment is an offline batch system: stage a corpus,
+execute every labeling-function binary, fit the generative model, train
+the end classifier. Production search/ads systems increasingly run the
+same organizational-knowledge-to-labels conversion *continuously* over
+live traffic (Vasudevan's weak-supervision-for-search deployment;
+WRENCH's streaming workloads). This package turns the batched execution
+engine of PR 1 into that continuous pipeline:
+
+* :mod:`repro.streaming.sources` — incremental example sources: a
+  bounded-memory reader over DFS record shards (records decode chunk by
+  chunk, never as whole-shard blobs) and an in-memory replay source for
+  tests and benchmarks;
+* :mod:`repro.streaming.pipeline` — :class:`MicroBatchPipeline`, a
+  two-stage producer/consumer scheduler with bounded queues and
+  admission-controlled backpressure (peak resident records is capped at
+  a fixed number of micro-batches), driving the same block-labeling
+  kernel as the offline applier so streamed votes are vote-for-vote
+  identical to an offline run;
+* :class:`repro.core.online_label_model.OnlineLabelModel` — the
+  incremental generative model the pipeline feeds (exported here for
+  convenience).
+
+Everything downstream is unchanged: probabilistic labels flow to the
+FTRL-trained discriminative models exactly as in the offline pipeline.
+"""
+
+from repro.core.online_label_model import (
+    OnlineLabelModel,
+    OnlineLabelModelConfig,
+)
+from repro.streaming.pipeline import (
+    MicroBatchPipeline,
+    PipelineStats,
+    StreamReport,
+)
+from repro.streaming.sources import (
+    ExampleSource,
+    MemorySource,
+    RecordStreamSource,
+    iter_example_batches,
+)
+
+__all__ = [
+    "ExampleSource",
+    "MemorySource",
+    "RecordStreamSource",
+    "iter_example_batches",
+    "MicroBatchPipeline",
+    "PipelineStats",
+    "StreamReport",
+    "OnlineLabelModel",
+    "OnlineLabelModelConfig",
+]

@@ -1,0 +1,303 @@
+"""The micro-batch streaming scheduler.
+
+:class:`MicroBatchPipeline` converts an example source into a continuous
+labeling run: an ingest thread decodes examples and assembles
+micro-batches; the caller's thread executes the same block-labeling
+kernel the offline applier uses (:func:`repro.lf.applier.label_example_block`
+— fused token-match executor plus per-LF batch kernels), then hands the
+votes to a sink callback (online label model update, end-model training,
+vote persistence).
+
+Flow control is admission-based, not just queue-based: the ingest stage
+must hold one *residency permit* per in-flight micro-batch before it may
+decode the batch's records, and the permit is only returned after the
+batch has been labeled and the sink has consumed it. With the default
+``max_resident_batches=2`` the pipeline never holds more than two
+micro-batches of decoded records — one being labeled, one staged — no
+matter how fast the source is; a :class:`repro.mapreduce.counters.Gauge`
+tracks the actual high-water mark so benchmarks can assert the bound
+rather than trust it.
+
+Per-stage observability reuses the MapReduce counter machinery: counts
+("ingest/records", "label/votes", "ingest/backpressure_waits") and
+microsecond timings ("ingest/decode_us", "queue/wait_us", "label/us",
+"sink/us") land in one :class:`CounterSet`, summarized per stage by
+:class:`PipelineStats` on the report.
+
+Ordering is deterministic: one producer, one consumer, a FIFO queue —
+micro-batches are labeled in source order, so streaming a dataset yields
+a label matrix vote-for-vote identical to the offline applier (asserted
+by the equivalence suite).
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.lf.applier import (
+    fused_lf_columns,
+    label_example_block,
+    start_lf_resources,
+    stop_lf_resources,
+)
+from repro.lf.base import AbstractLabelingFunction
+from repro.mapreduce.counters import CounterSet, Gauge
+from repro.streaming.sources import iter_example_batches
+from repro.types import Example, LabelMatrix
+
+__all__ = ["MicroBatchPipeline", "PipelineStats", "StreamReport"]
+
+#: Sink callback: (batch_index, examples, votes) — runs on the consumer
+#: thread, in batch order, while the batch still holds its residency
+#: permit (the examples are guaranteed alive for the duration).
+BatchSink = Callable[[int, list[Example], np.ndarray], None]
+
+
+@dataclass
+class _Batch:
+    seq: int
+    examples: list[Example]
+    created: float
+    enqueued: float = 0.0
+
+
+@dataclass
+class PipelineStats:
+    """One stage's aggregate throughput numbers."""
+
+    name: str
+    batches: int
+    records: int
+    seconds: float
+
+    @property
+    def records_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf") if self.records else 0.0
+        return self.records / self.seconds
+
+
+@dataclass
+class StreamReport:
+    """Everything one pipeline run reports."""
+
+    examples: int
+    batches: int
+    lf_count: int
+    wall_seconds: float
+    peak_resident_records: int
+    max_resident_records: int
+    backpressure_waits: int
+    votes_emitted: int
+    mean_batch_latency_seconds: float
+    max_batch_latency_seconds: float
+    counters: dict[str, int] = field(default_factory=dict)
+    label_matrix: LabelMatrix | None = None
+
+    @property
+    def examples_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf") if self.examples else 0.0
+        return self.examples / self.wall_seconds
+
+    def stage(self, name: str) -> PipelineStats:
+        """Summarize one stage ("ingest", "label", "sink") from counters."""
+        time_key = {
+            "ingest": "ingest/decode_us",
+            "label": "label/us",
+            "sink": "sink/us",
+        }[name]
+        return PipelineStats(
+            name=name,
+            batches=self.counters.get(f"{name}/batches", self.batches),
+            records=self.counters.get("ingest/records", self.examples),
+            seconds=self.counters.get(time_key, 0) / 1e6,
+        )
+
+    def stages(self) -> dict[str, PipelineStats]:
+        return {name: self.stage(name) for name in ("ingest", "label", "sink")}
+
+
+class MicroBatchPipeline:
+    """Bounded-memory micro-batch labeling over an example stream."""
+
+    def __init__(
+        self,
+        lfs: Sequence[AbstractLabelingFunction],
+        batch_size: int = 1024,
+        max_resident_batches: int = 2,
+        on_batch: BatchSink | None = None,
+        collect_votes: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_resident_batches < 1:
+            raise ValueError(
+                f"max_resident_batches must be >= 1, got {max_resident_batches}"
+            )
+        self.lfs = list(lfs)
+        self.batch_size = batch_size
+        self.max_resident_batches = max_resident_batches
+        self.on_batch = on_batch
+        self.collect_votes = collect_votes
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, source: Iterable[Example]) -> StreamReport:
+        """Drain the source through the pipeline; returns the report.
+
+        The ingest stage runs on its own thread; labeling and the sink
+        run on the calling thread, in batch order.
+        """
+        counters = CounterSet()
+        resident = Gauge()
+        permits = threading.Semaphore(self.max_resident_batches)
+        handoff: queue_module.Queue[_Batch | None] = queue_module.Queue()
+        stop = threading.Event()
+        producer_error: list[BaseException | None] = [None]
+
+        def counted(examples: Iterable[Example]):
+            for example in examples:
+                resident.add(1)
+                yield example
+
+        def produce() -> None:
+            try:
+                batches = iter_example_batches(
+                    counted(iter(source)), self.batch_size
+                )
+                seq = 0
+                while not stop.is_set():
+                    # Admission control: hold a residency permit BEFORE
+                    # decoding the next batch's records.
+                    if not permits.acquire(blocking=False):
+                        counters.increment("ingest/backpressure_waits")
+                        waited = time.perf_counter()
+                        permits.acquire()
+                        counters.increment(
+                            "ingest/wait_us",
+                            int((time.perf_counter() - waited) * 1e6),
+                        )
+                    if stop.is_set():
+                        permits.release()
+                        return
+                    decode_start = time.perf_counter()
+                    batch_examples = next(batches, None)
+                    if batch_examples is None:
+                        permits.release()
+                        return
+                    now = time.perf_counter()
+                    counters.increment(
+                        "ingest/decode_us", int((now - decode_start) * 1e6)
+                    )
+                    counters.increment("ingest/records", len(batch_examples))
+                    counters.increment("ingest/batches")
+                    batch = _Batch(seq, batch_examples, decode_start, now)
+                    seq += 1
+                    handoff.put(batch)
+            except BaseException as error:  # surfaced on the consumer side
+                producer_error[0] = error
+            finally:
+                handoff.put(None)
+
+        fused_cols = fused_lf_columns(self.lfs)
+        collected_votes: list[np.ndarray] = []
+        collected_ids: list[str] = []
+        votes_emitted = 0
+        batches_done = 0
+        examples_done = 0
+        latency_sum = 0.0
+        latency_max = 0.0
+
+        wall_start = time.perf_counter()
+        start_lf_resources(self.lfs)
+        producer = threading.Thread(
+            target=produce, name="microbatch-ingest", daemon=True
+        )
+        producer.start()
+        try:
+            while True:
+                batch = handoff.get()
+                if batch is None:
+                    if producer_error[0] is not None:
+                        raise producer_error[0]
+                    break
+                counters.increment(
+                    "queue/wait_us",
+                    int((time.perf_counter() - batch.enqueued) * 1e6),
+                )
+                label_start = time.perf_counter()
+                votes = label_example_block(self.lfs, batch.examples, fused_cols)
+                counters.increment(
+                    "label/us", int((time.perf_counter() - label_start) * 1e6)
+                )
+                counters.increment("label/batches")
+                batch_votes = int(np.count_nonzero(votes))
+                votes_emitted += batch_votes
+                counters.increment("label/votes", batch_votes)
+                if self.on_batch is not None:
+                    sink_start = time.perf_counter()
+                    self.on_batch(batch.seq, batch.examples, votes)
+                    counters.increment(
+                        "sink/us", int((time.perf_counter() - sink_start) * 1e6)
+                    )
+                    counters.increment("sink/batches")
+                if self.collect_votes:
+                    collected_votes.append(votes)
+                    collected_ids.extend(
+                        e.example_id for e in batch.examples
+                    )
+                batches_done += 1
+                examples_done += len(batch.examples)
+                latency = time.perf_counter() - batch.created
+                latency_sum += latency
+                latency_max = max(latency_max, latency)
+                # The batch's records leave the pipeline here; only now
+                # may the ingest stage decode a replacement batch.
+                resident.subtract(len(batch.examples))
+                permits.release()
+        except BaseException:
+            # Wake the producer if it is blocked on a permit; with the
+            # stop flag set it exits at the next check, so the join in
+            # the finally block cannot hang.
+            stop.set()
+            permits.release()
+            raise
+        finally:
+            producer.join()
+            stop_lf_resources(self.lfs)
+        wall = time.perf_counter() - wall_start
+
+        label_matrix = None
+        if self.collect_votes:
+            stacked = (
+                np.vstack(collected_votes)
+                if collected_votes
+                else np.zeros((0, len(self.lfs)), dtype=np.int8)
+            )
+            label_matrix = LabelMatrix(
+                stacked, collected_ids, [lf.name for lf in self.lfs]
+            )
+        return StreamReport(
+            examples=examples_done,
+            batches=batches_done,
+            lf_count=len(self.lfs),
+            wall_seconds=wall,
+            peak_resident_records=resident.peak,
+            max_resident_records=self.max_resident_batches * self.batch_size,
+            backpressure_waits=counters.value("ingest/backpressure_waits"),
+            votes_emitted=votes_emitted,
+            mean_batch_latency_seconds=(
+                latency_sum / batches_done if batches_done else 0.0
+            ),
+            max_batch_latency_seconds=latency_max,
+            counters=counters.as_dict(),
+            label_matrix=label_matrix,
+        )

@@ -1,0 +1,110 @@
+"""Example sources for the micro-batch streaming pipeline.
+
+A source is anything iterable over :class:`repro.types.Example` — the
+pipeline assembles micro-batches from the iterator, so sources stay
+trivially composable (a generator over a socket would work the same
+way). Two concrete sources cover the repository's needs:
+
+* :class:`RecordStreamSource` — replays staged DFS record shards with
+  true incremental reads: each shard streams through
+  :class:`repro.dfs.records.RecordReader` chunk by chunk, so an
+  arbitrarily large shard set is ingested at O(chunk + one record)
+  memory in the source itself (the pipeline's admission control bounds
+  the decoded records downstream).
+* :class:`MemorySource` — an in-memory replay source for tests and
+  benchmarks. It can re-yield the same Example objects (cheap) or clone
+  them per pass (``fresh=True``) so per-example token memos start cold,
+  matching what decoding from records would produce.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol, Sequence
+
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.records import DEFAULT_READ_CHUNK, RecordReader
+from repro.types import Example
+
+__all__ = [
+    "ExampleSource",
+    "RecordStreamSource",
+    "MemorySource",
+    "iter_example_batches",
+]
+
+
+class ExampleSource(Protocol):
+    """Anything that can be iterated for examples, possibly many times."""
+
+    def __iter__(self) -> Iterator[Example]: ...
+
+
+class RecordStreamSource:
+    """Streams examples out of finalized DFS record shards.
+
+    Iteration opens one shard at a time and decodes records through the
+    chunked reader — no whole-shard blobs, no upfront materialization.
+    Reiterable: each ``iter()`` starts a fresh pass over the shard set.
+    """
+
+    def __init__(
+        self,
+        dfs: DistributedFileSystem,
+        paths: Sequence[str],
+        chunk_size: int = DEFAULT_READ_CHUNK,
+    ) -> None:
+        self._dfs = dfs
+        self._paths = list(paths)
+        self._chunk_size = chunk_size
+
+    def __iter__(self) -> Iterator[Example]:
+        for path in self._paths:
+            reader = RecordReader(self._dfs, path, chunk_size=self._chunk_size)
+            for record in reader:
+                yield Example.from_record(record)
+
+
+class MemorySource:
+    """Replays an in-memory example list, optionally as fresh clones.
+
+    ``fresh=True`` yields copies so that state an execution engine hangs
+    off Example objects (the batch engine's token memos) never leaks
+    between passes — the honest stand-in for records decoded off the
+    wire.
+    """
+
+    def __init__(self, examples: Sequence[Example], fresh: bool = False) -> None:
+        self._examples = list(examples)
+        self._fresh = fresh
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def __iter__(self) -> Iterator[Example]:
+        if not self._fresh:
+            yield from self._examples
+            return
+        for e in self._examples:
+            yield Example(
+                example_id=e.example_id,
+                fields=dict(e.fields),
+                servable=dict(e.servable),
+                non_servable=dict(e.non_servable),
+                label=e.label,
+            )
+
+
+def iter_example_batches(
+    source: Iterable[Example], batch_size: int
+) -> Iterator[list[Example]]:
+    """Assemble a flat example iterator into micro-batches."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    batch: list[Example] = []
+    for example in source:
+        batch.append(example)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

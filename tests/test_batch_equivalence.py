@@ -5,6 +5,12 @@ path, never different: every shipped LF's ``label_batch`` must agree
 vote-for-vote with looping ``label``, the fused in-memory applier must
 agree with the per-example applier, and the block-based MapReduce mapper
 must produce byte-identical vote shards to the per-record mapper.
+
+The same contract extends to the streaming subsystem: micro-batching a
+dataset through ``MicroBatchPipeline`` must yield a vote-for-vote
+identical label matrix, and the online label model must reproduce the
+offline ``SamplingFreeLabelModel``'s probabilistic labels exactly after
+its final refit.
 """
 
 import numpy as np
@@ -277,6 +283,72 @@ def test_mapreduce_batched_output_byte_identical(app):
         assert res_a.positives == res_b.positives
         assert res_a.negatives == res_b.negatives
         assert res_a.abstains == res_b.abstains
+
+
+# ----------------------------------------------------------------------
+# streaming path: micro-batched labeling must equal the offline applier
+# ----------------------------------------------------------------------
+@given(example_lists(), st.integers(min_value=1, max_value=17))
+@settings(max_examples=15, deadline=None)
+def test_streaming_pipeline_matches_offline(examples, micro_batch):
+    from repro.streaming import MemorySource, MicroBatchPipeline
+
+    lfs = build_suite()
+    offline = apply_lfs_in_memory(lfs, examples, batched=False)
+    pipeline = MicroBatchPipeline(
+        lfs, batch_size=micro_batch, collect_votes=True
+    )
+    report = pipeline.run(MemorySource(examples, fresh=True))
+    assert report.label_matrix.example_ids == offline.example_ids
+    assert report.label_matrix.lf_names == offline.lf_names
+    assert np.array_equal(report.label_matrix.matrix, offline.matrix)
+    assert report.peak_resident_records <= 2 * micro_batch
+
+
+def test_streaming_records_match_offline_and_label_model():
+    """The full stream: DFS shards -> pipeline -> online label model.
+
+    Votes must be identical to the offline applier (id-aligned; shards
+    are round-robin staged) and the online model's post-refit posteriors
+    must match an offline fit on the same stream to 1e-6.
+    """
+    from repro.core.online_label_model import (
+        OnlineLabelModel,
+        OnlineLabelModelConfig,
+    )
+    from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+    from repro.streaming import MicroBatchPipeline, RecordStreamSource
+
+    exp = get_content_experiment("product", "tiny")
+    examples = exp.dataset.unlabeled[:400]
+    lfs = exp.lfs
+    offline = apply_lfs_in_memory(lfs, examples)
+
+    dfs = DistributedFileSystem()
+    paths = stage_examples(dfs, examples, "/stream_eq/examples", num_shards=4)
+    config = LabelModelConfig(n_steps=800, seed=0)
+    online = OnlineLabelModel(
+        OnlineLabelModelConfig(base=config, refit_every=3)
+    )
+    pipeline = MicroBatchPipeline(
+        lfs,
+        batch_size=64,
+        on_batch=lambda _seq, _batch, votes: online.observe(votes),
+        collect_votes=True,
+    )
+    report = pipeline.run(RecordStreamSource(dfs, paths))
+
+    streamed = report.label_matrix
+    aligned = offline.select_examples(streamed.example_ids)
+    assert np.array_equal(streamed.matrix, aligned.matrix)
+
+    final = online.refit()
+    reference = SamplingFreeLabelModel(config).fit(streamed.matrix)
+    np.testing.assert_allclose(
+        final.predict_proba(streamed.matrix),
+        reference.predict_proba(streamed.matrix),
+        atol=1e-6,
+    )
 
 
 # ----------------------------------------------------------------------

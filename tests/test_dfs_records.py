@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.dfs.filesystem import DFSError, FileNotFound
 from repro.dfs.records import (
     RecordCorruption,
     RecordReader,
@@ -11,6 +12,7 @@ from repro.dfs.records import (
     encode_record,
     iter_record_blobs,
     read_records,
+    stream_records,
     write_records,
 )
 
@@ -92,3 +94,89 @@ class TestWriterReader:
     def test_empty_file_yields_nothing(self, dfs):
         write_records(dfs, "/r/empty", [])
         assert read_records(dfs, "/r/empty") == []
+
+    def test_reader_fails_fast_on_missing_file(self, dfs):
+        with pytest.raises(FileNotFound):
+            RecordReader(dfs, "/r/missing")
+
+
+class TestStreamingReads:
+    """The chunked read path: bounded memory, blob-equivalent output."""
+
+    def test_stream_matches_blob_decode_at_any_chunk_size(self, dfs):
+        payloads = [{"i": i, "pad": "x" * (i % 37)} for i in range(200)]
+        write_records(dfs, "/r/big", payloads)
+        blob = dfs.read_file("/r/big")
+        for chunk_size in (8, 13, 64, 1 << 20):
+            reader = RecordReader(dfs, "/r/big", chunk_size=chunk_size)
+            assert list(reader) == list(decode_records(blob))
+
+    def test_stream_never_calls_read_file(self, dfs, monkeypatch):
+        write_records(dfs, "/r/x", [{"i": i} for i in range(50)])
+        reader = RecordReader(dfs, "/r/x", chunk_size=32)
+        monkeypatch.setattr(
+            dfs,
+            "read_file",
+            lambda path: (_ for _ in ()).throw(
+                AssertionError("blob read on the streaming path")
+            ),
+        )
+        assert [r["i"] for r in reader] == list(range(50))
+
+    def test_stream_corruption_diagnostics_match_blob_path(self, dfs):
+        payloads = [{"i": i} for i in range(20)]
+        blob = b"".join(encode_record(p) for p in payloads)
+        corrupt = bytearray(blob)
+        corrupt[len(blob) // 2] ^= 0xFF  # flip a bit mid-file
+        dfs.write_file("/r/corrupt", bytes(corrupt))
+
+        with pytest.raises(RecordCorruption) as blob_error:
+            list(decode_records(bytes(corrupt)))
+        with pytest.raises(RecordCorruption) as stream_error:
+            list(RecordReader(dfs, "/r/corrupt", chunk_size=16))
+        assert str(stream_error.value) == str(blob_error.value)
+
+    def test_stream_truncation_diagnostics_match_blob_path(self, dfs):
+        blob = encode_record({"a": 1}) + encode_record({"b": 2})
+        for cut in (len(blob) - 3, len(blob) - 10):
+            truncated = blob[:cut]
+            dfs.write_file(f"/r/trunc{cut}", truncated)
+            with pytest.raises(RecordCorruption) as blob_error:
+                list(decode_records(truncated))
+            with pytest.raises(RecordCorruption) as stream_error:
+                list(RecordReader(dfs, f"/r/trunc{cut}", chunk_size=8))
+            assert str(stream_error.value) == str(blob_error.value)
+
+    def test_rejects_tiny_chunk_size(self, dfs):
+        write_records(dfs, "/r/x", [{"i": 1}])
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(stream_records(dfs.open_read("/r/x"), chunk_size=4))
+
+
+class TestReadHandles:
+    def test_sequential_reads_and_positions(self, dfs):
+        dfs.write_file("/h/data", b"abcdefghij")
+        with dfs.open_read("/h/data") as handle:
+            assert handle.size == 10
+            assert handle.read(4) == b"abcd"
+            assert handle.tell() == 4
+            assert handle.remaining == 6
+            assert handle.read(100) == b"efghij"
+            assert handle.read(1) == b""
+
+    def test_closed_handle_rejects_reads(self, dfs):
+        dfs.write_file("/h/data", b"abc")
+        handle = dfs.open_read("/h/data")
+        handle.close()
+        with pytest.raises(DFSError, match="closed"):
+            handle.read(1)
+
+    def test_read_at_bounds(self, dfs):
+        dfs.write_file("/h/data", b"abcdef")
+        assert dfs.read_at("/h/data", 2, 3) == b"cde"
+        assert dfs.read_at("/h/data", 5, 10) == b"f"
+        assert dfs.read_at("/h/data", 9, 4) == b""
+        with pytest.raises(DFSError):
+            dfs.read_at("/h/data", -1, 2)
+        with pytest.raises(FileNotFound):
+            dfs.read_at("/h/nope", 0, 1)

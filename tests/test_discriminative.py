@@ -129,6 +129,29 @@ class TestNoiseAwareLogistic:
         ).fit(X, labels_to_soft_targets(y), sample_weights=np.ones(60))
         assert model.iterations_run == 50
 
+    def test_partial_fit_learns_over_a_stream(self):
+        X, y = separable_data(n=600, seed=6)
+        soft = labels_to_soft_targets(y)
+        model = NoiseAwareLogisticRegression(X.shape[1])
+        for start in range(0, X.shape[0], 64):
+            model.partial_fit(
+                X[start:start + 64], soft[start:start + 64], epochs=3
+            )
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy > 0.85
+
+    def test_partial_fit_validation(self):
+        X, _ = separable_data(n=10)
+        model = NoiseAwareLogisticRegression(X.shape[1])
+        with pytest.raises(ValueError, match="rows"):
+            model.partial_fit(X, np.zeros(4))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            model.partial_fit(X, np.full(10, 2.0))
+        with pytest.raises(ValueError, match="epochs"):
+            model.partial_fit(X, np.zeros(10), epochs=0)
+        # An empty micro-batch (all rows abstained) is a no-op.
+        model.partial_fit(X[:0], np.zeros(0))
+
 
 class TestNoiseAwareMLP:
     def test_validation(self):

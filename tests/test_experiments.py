@@ -152,3 +152,83 @@ class TestFigure5Helpers:
         stats = distribution_stats(np.array([0.95, 0.96, 0.97, 0.5]))
         assert stats["mass_above_0.9"] == pytest.approx(0.75)
         assert stats["occupied_bins"] >= 2
+
+
+class TestBenchHistory:
+    """The append-only perf history + trailing-median trend gate."""
+
+    def test_append_and_no_flag_on_short_history(self, tmp_path):
+        from repro.experiments import perf
+
+        path = str(tmp_path / "BENCH_history.jsonl")
+        for eps in (100.0, 101.0):
+            perf.append_bench_history("s", {"eps": eps}, path=path)
+        assert len(open(path).read().splitlines()) == 2
+        # Fewer than min_history prior entries: stay green.
+        assert perf.check_history_trend("s", "eps", path=path) is None
+
+    def test_flags_regression_beyond_tolerance(self, tmp_path):
+        from repro.experiments import perf
+
+        path = str(tmp_path / "BENCH_history.jsonl")
+        for eps in (100.0, 98.0, 102.0, 100.0):
+            perf.append_bench_history("s", {"eps": eps}, path=path)
+        perf.append_bench_history("s", {"eps": 70.0}, path=path)
+        flag = perf.check_history_trend("s", "eps", path=path)
+        assert flag is not None
+        assert flag["latest"] == 70.0
+        assert flag["trailing_median"] == pytest.approx(100.0)
+        assert flag["ratio"] == pytest.approx(0.7)
+
+    def test_tolerated_dip_passes(self, tmp_path):
+        from repro.experiments import perf
+
+        path = str(tmp_path / "BENCH_history.jsonl")
+        for eps in (100.0, 98.0, 102.0, 100.0, 85.0):
+            perf.append_bench_history("s", {"eps": eps}, path=path)
+        assert perf.check_history_trend("s", "eps", path=path) is None
+
+    def test_sections_are_independent(self, tmp_path):
+        from repro.experiments import perf
+
+        path = str(tmp_path / "BENCH_history.jsonl")
+        for eps in (100.0, 100.0, 100.0, 100.0):
+            perf.append_bench_history("a", {"eps": eps}, path=path)
+        perf.append_bench_history("b", {"eps": 1.0}, path=path)
+        perf.append_bench_history("a", {"eps": 99.0}, path=path)
+        assert perf.check_history_trend("a", "eps", path=path) is None
+
+    def test_missing_history_file(self, tmp_path):
+        from repro.experiments import perf
+
+        path = str(tmp_path / "nope.jsonl")
+        assert perf.check_history_trend("s", "eps", path=path) is None
+
+    def test_match_keeps_configurations_separate(self, tmp_path):
+        from repro.experiments import perf
+
+        path = str(tmp_path / "BENCH_history.jsonl")
+        for eps in (100.0, 98.0, 102.0, 100.0):
+            perf.append_bench_history(
+                "s", {"eps": eps, "examples": 20000}, path=path
+            )
+        # A smoke run at a smaller N is slower but must not be compared
+        # against the full-N trend line...
+        perf.append_bench_history(
+            "s", {"eps": 50.0, "examples": 4000}, path=path
+        )
+        assert (
+            perf.check_history_trend(
+                "s", "eps", path=path, match={"examples": 4000}
+            )
+            is None
+        )
+        # ...and must not contaminate the full-N series either.
+        perf.append_bench_history(
+            "s", {"eps": 70.0, "examples": 20000}, path=path
+        )
+        flag = perf.check_history_trend(
+            "s", "eps", path=path, match={"examples": 20000}
+        )
+        assert flag is not None
+        assert flag["trailing_median"] == pytest.approx(100.0)

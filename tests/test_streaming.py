@@ -1,0 +1,301 @@
+"""Tests for the micro-batch streaming subsystem.
+
+Covers the three layers independently — sources (bounded ingestion),
+the MicroBatchPipeline scheduler (ordering, backpressure, error
+propagation, counters), and the OnlineLabelModel (moments, lossless
+pattern log, refit-exactness) — plus the gauge primitive they share.
+The cross-cutting stream-vs-offline equivalence guarantees live in
+``test_batch_equivalence.py``.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.core.online_label_model import (
+    OnlineLabelModel,
+    OnlineLabelModelConfig,
+)
+from repro.experiments.harness import get_content_experiment
+from repro.lf.applier import apply_lfs_in_memory, stage_examples
+from repro.mapreduce.counters import Gauge
+from repro.streaming import (
+    MemorySource,
+    MicroBatchPipeline,
+    RecordStreamSource,
+    iter_example_batches,
+)
+from repro.types import Example
+
+from tests.conftest import synthetic_label_matrix
+
+
+@pytest.fixture(scope="module")
+def product_pipeline():
+    exp = get_content_experiment("product", "tiny")
+    return exp.lfs, exp.dataset.unlabeled[:300]
+
+
+# ----------------------------------------------------------------------
+# gauge
+# ----------------------------------------------------------------------
+class TestGauge:
+    def test_tracks_level_and_peak(self):
+        gauge = Gauge()
+        gauge.add(5)
+        gauge.add(3)
+        gauge.subtract(6)
+        gauge.add(1)
+        assert gauge.current == 3
+        assert gauge.peak == 8
+
+    def test_rejects_negative_amounts_and_underflow(self):
+        gauge = Gauge()
+        with pytest.raises(ValueError):
+            gauge.add(-1)
+        with pytest.raises(ValueError):
+            gauge.subtract(-1)
+        with pytest.raises(ValueError):
+            gauge.subtract(1)
+
+
+# ----------------------------------------------------------------------
+# sources
+# ----------------------------------------------------------------------
+class TestSources:
+    def test_iter_example_batches_shapes(self):
+        examples = [Example(f"x{i}") for i in range(10)]
+        batches = list(iter_example_batches(iter(examples), 4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert [e.example_id for b in batches for e in b] == [
+            f"x{i}" for i in range(10)
+        ]
+
+    def test_iter_example_batches_rejects_bad_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(iter_example_batches(iter([]), 0))
+
+    def test_memory_source_fresh_clones(self):
+        examples = [Example("a", fields={"title": "bike"})]
+        fresh = MemorySource(examples, fresh=True)
+        first, second = list(fresh)[0], list(fresh)[0]
+        assert first is not examples[0] and second is not first
+        assert first.to_record() == examples[0].to_record()
+        shared = MemorySource(examples)
+        assert list(shared)[0] is examples[0]
+
+    def test_record_stream_source_round_trips(self, dfs):
+        examples = [Example(f"e{i}", fields={"k": i}) for i in range(25)]
+        paths = stage_examples(dfs, examples, "/src/e", num_shards=3)
+        streamed = list(RecordStreamSource(dfs, paths))
+        # stage_examples round-robins across shards; same multiset of
+        # examples, shard-major order.
+        assert sorted(e.example_id for e in streamed) == sorted(
+            e.example_id for e in examples
+        )
+        by_id = {e.example_id: e for e in examples}
+        for got in streamed:
+            assert got.to_record() == by_id[got.example_id].to_record()
+
+    def test_record_stream_source_never_reads_blobs(self, dfs, monkeypatch):
+        examples = [Example(f"e{i}") for i in range(10)]
+        paths = stage_examples(dfs, examples, "/src/e", num_shards=1)
+
+        def forbid(path):
+            raise AssertionError("whole-shard blob read on the stream path")
+
+        monkeypatch.setattr(dfs, "read_file", forbid)
+        assert len(list(RecordStreamSource(dfs, paths))) == 10
+
+
+# ----------------------------------------------------------------------
+# pipeline
+# ----------------------------------------------------------------------
+class TestMicroBatchPipeline:
+    def test_matches_offline_applier_in_order(self, product_pipeline):
+        lfs, examples = product_pipeline
+        offline = apply_lfs_in_memory(lfs, examples)
+        pipe = MicroBatchPipeline(lfs, batch_size=64, collect_votes=True)
+        report = pipe.run(MemorySource(examples, fresh=True))
+        assert report.examples == len(examples)
+        assert report.label_matrix.example_ids == offline.example_ids
+        assert np.array_equal(report.label_matrix.matrix, offline.matrix)
+        assert report.votes_emitted == int(
+            np.count_nonzero(offline.matrix)
+        )
+
+    def test_sink_sees_batches_in_order(self, product_pipeline):
+        lfs, examples = product_pipeline
+        seen: list[tuple[int, int]] = []
+        pipe = MicroBatchPipeline(
+            lfs,
+            batch_size=77,
+            on_batch=lambda seq, batch, votes: seen.append(
+                (seq, len(batch))
+            ),
+        )
+        report = pipe.run(MemorySource(examples, fresh=True))
+        assert [seq for seq, _ in seen] == list(range(report.batches))
+        assert sum(size for _, size in seen) == len(examples)
+
+    def test_resident_records_bounded_under_slow_sink(self, product_pipeline):
+        lfs, examples = product_pipeline
+        pipe = MicroBatchPipeline(
+            lfs,
+            batch_size=32,
+            max_resident_batches=2,
+            on_batch=lambda *_: time.sleep(0.002),
+        )
+        report = pipe.run(MemorySource(examples, fresh=True))
+        assert report.peak_resident_records <= 2 * 32
+        assert report.backpressure_waits > 0
+        assert report.counters["ingest/records"] == len(examples)
+
+    def test_stage_counters_populated(self, product_pipeline):
+        lfs, examples = product_pipeline
+        pipe = MicroBatchPipeline(
+            lfs, batch_size=50, on_batch=lambda *_: None
+        )
+        report = pipe.run(MemorySource(examples, fresh=True))
+        stages = report.stages()
+        assert stages["label"].batches == report.batches
+        assert stages["sink"].batches == report.batches
+        assert stages["ingest"].records == len(examples)
+        assert report.mean_batch_latency_seconds > 0
+        assert (
+            report.max_batch_latency_seconds
+            >= report.mean_batch_latency_seconds
+        )
+
+    def test_empty_source(self, product_pipeline):
+        lfs, _ = product_pipeline
+        report = MicroBatchPipeline(lfs, collect_votes=True).run(
+            MemorySource([])
+        )
+        assert report.examples == 0
+        assert report.batches == 0
+        assert report.label_matrix.matrix.shape == (0, len(lfs))
+
+    def test_sink_error_propagates(self, product_pipeline):
+        lfs, examples = product_pipeline
+
+        def explode(seq, batch, votes):
+            raise RuntimeError("sink crashed")
+
+        pipe = MicroBatchPipeline(lfs, batch_size=16, on_batch=explode)
+        before = threading.active_count()
+        with pytest.raises(RuntimeError, match="sink crashed"):
+            pipe.run(MemorySource(examples, fresh=True))
+        # The ingest thread exits rather than leaking.
+        deadline = time.time() + 5.0
+        while threading.active_count() > before and time.time() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= before
+
+    def test_source_error_propagates(self, product_pipeline):
+        lfs, examples = product_pipeline
+
+        def broken_source():
+            yield from examples[:40]
+            raise OSError("shard vanished")
+
+        pipe = MicroBatchPipeline(lfs, batch_size=16)
+        with pytest.raises(OSError, match="shard vanished"):
+            pipe.run(broken_source())
+
+    def test_rejects_bad_parameters(self, product_pipeline):
+        lfs, _ = product_pipeline
+        with pytest.raises(ValueError, match="batch_size"):
+            MicroBatchPipeline(lfs, batch_size=0)
+        with pytest.raises(ValueError, match="max_resident_batches"):
+            MicroBatchPipeline(lfs, max_resident_batches=0)
+
+
+# ----------------------------------------------------------------------
+# online label model
+# ----------------------------------------------------------------------
+class TestOnlineLabelModel:
+    def _stream(self, model, L, batch=128):
+        for start in range(0, len(L), batch):
+            model.observe(L[start:start + batch])
+
+    def test_moments_match_full_matrix(self):
+        L, _ = synthetic_label_matrix(m=1000, seed=5)
+        model = OnlineLabelModel()
+        self._stream(model, L, batch=64)
+        dense = L.astype(np.float64)
+        assert model.n_observed == len(L)
+        np.testing.assert_allclose(model.mean_votes(), dense.mean(axis=0))
+        np.testing.assert_allclose(
+            model.fire_rates(), np.abs(dense).mean(axis=0)
+        )
+        np.testing.assert_allclose(
+            model.agreement_matrix(), dense.T @ dense / len(L)
+        )
+
+    def test_pattern_log_is_lossless(self):
+        L, _ = synthetic_label_matrix(m=700, seed=7)
+        model = OnlineLabelModel()
+        self._stream(model, L, batch=97)
+        assert np.array_equal(model.reconstruct_matrix(), L)
+        assert model.n_patterns == len(np.unique(L, axis=0))
+
+    def test_refit_is_exactly_the_offline_fit(self):
+        L, _ = synthetic_label_matrix(m=1500, seed=3)
+        config = LabelModelConfig(n_steps=500, seed=9)
+        offline = SamplingFreeLabelModel(config).fit(L)
+        online = OnlineLabelModel(OnlineLabelModelConfig(base=config))
+        self._stream(online, L, batch=256)
+        refit = online.refit()
+        np.testing.assert_array_equal(refit.alpha, offline.alpha)
+        np.testing.assert_array_equal(refit.beta, offline.beta)
+        np.testing.assert_allclose(
+            refit.predict_proba(L), offline.predict_proba(L), atol=1e-6
+        )
+
+    def test_incremental_updates_track_offline_accuracies(self):
+        L, _ = synthetic_label_matrix(m=4000, seed=1)
+        config = LabelModelConfig(n_steps=2000, seed=0)
+        offline = SamplingFreeLabelModel(config).fit(L)
+        online = OnlineLabelModel(
+            OnlineLabelModelConfig(base=config, steps_per_batch=40)
+        )
+        self._stream(online, L, batch=200)
+        # No refit: purely incremental estimates should already be close.
+        assert online.refits_done == 0
+        np.testing.assert_allclose(
+            online.accuracies(), offline.accuracies(), atol=0.1
+        )
+
+    def test_refit_cadence(self):
+        L, _ = synthetic_label_matrix(m=600, seed=2)
+        online = OnlineLabelModel(
+            OnlineLabelModelConfig(
+                base=LabelModelConfig(n_steps=50), refit_every=2
+            )
+        )
+        self._stream(online, L, batch=100)  # 6 batches -> 3 refits
+        assert online.refits_done == 3
+
+    def test_validation(self):
+        model = OnlineLabelModel()
+        with pytest.raises(RuntimeError, match="refit"):
+            model.refit()
+        with pytest.raises(RuntimeError, match="observed"):
+            model.mean_votes()
+        model.observe(np.array([[1, -1, 0]]))
+        with pytest.raises(ValueError, match="columns"):
+            model.observe(np.array([[1, -1]]))
+        with pytest.raises(ValueError, match="votes"):
+            model.observe(np.array([[2, 0, 0]]))
+        with pytest.raises(ValueError, match="2-D"):
+            model.observe(np.array([1, 0, -1]))
+
+    def test_empty_batch_is_a_noop(self):
+        model = OnlineLabelModel()
+        model.observe(np.zeros((0, 4), dtype=np.int8))
+        assert model.n_observed == 0
+        assert model.batches_observed == 0
