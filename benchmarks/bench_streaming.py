@@ -12,7 +12,11 @@ and prequential FTRL end model — and enforces the subsystem's contract:
   (measured by the pipeline's gauge, not assumed);
 * **equivalence**: streamed votes are identical to the offline applier
   and the online model's post-refit posteriors match an offline fit to
-  <= 1e-6.
+  <= 1e-6;
+* **durability** (:func:`run_crash_recovery`): with vote/label sinks and
+  checkpoint manifests enabled, throughput stays >= 0.4x offline at full
+  scale, and a stream killed mid-run resumes from the manifest to
+  byte-identical shards and <= 1e-6 posteriors.
 
 Rows land in ``BENCH_perf.json`` (latest snapshot), are appended to
 ``BENCH_history.jsonl``, and the trailing-median trend check flags >20%
@@ -24,10 +28,14 @@ Environment knobs: ``REPRO_SCALE`` (dataset scale) and ``REPRO_BENCH_N``
 (example count; CI smoke uses a small value).
 """
 
+import json
 import os
 
 from repro.experiments import perf
-from repro.experiments.streaming_eval import run_streaming_eval
+from repro.experiments.streaming_eval import (
+    run_crash_recovery,
+    run_streaming_eval,
+)
 
 from benchmarks.conftest import emit
 
@@ -36,6 +44,10 @@ BENCH_N = int(os.environ.get("REPRO_BENCH_N", "20000"))
 
 #: Minimum streaming/offline throughput ratio enforced at full scale.
 THROUGHPUT_FLOOR = 0.5
+
+#: Minimum durable-streaming/offline ratio (vote + label sinks and
+#: checkpoint manifests enabled) enforced at full scale.
+DURABLE_THROUGHPUT_FLOOR = 0.4
 
 #: Posterior agreement required after the online model's final refit.
 PROBA_TOLERANCE = 1e-6
@@ -102,3 +114,64 @@ def test_streaming_vs_offline(benchmark, scale):
     # with a meaningful fraction of the labeling-only stream.
     assert row["learning_examples_per_second"] > 0
     assert 0.0 <= row["stream_f1"] <= 1.0
+
+
+def test_checkpointed_crash_recovery(benchmark, scale):
+    """The durability gate: sink overhead, crash-resume byte-identity."""
+    result = benchmark.pedantic(
+        lambda: run_crash_recovery(scale=scale, n_examples=BENCH_N),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    row = result.rows[0]
+    perf.update_bench_json("streaming_recovery", {"scale": scale, **row})
+    perf.append_bench_history(
+        "streaming_recovery",
+        {"scale": scale, **{k: v for k, v in row.items() if k != "manifest"}},
+    )
+    _trend_gate(
+        "streaming_recovery",
+        "durable_examples_per_second",
+        {"scale": scale, "examples": row["examples"]},
+    )
+    # Export the checkpoint manifest summary for the CI artifact.
+    manifest_path = os.path.join(
+        os.path.dirname(perf.bench_json_path()), "BENCH_recovery_manifest.json"
+    )
+    with open(manifest_path, "w") as handle:
+        json.dump(
+            {"scale": scale, "manifest": row["manifest"], "row": {
+                k: v for k, v in row.items() if k != "manifest"
+            }},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    print(f"[recovery manifest summary written: {manifest_path}]")
+
+    # Crash-resume equivalence and the memory bound hold at every scale.
+    assert row["crash_seen"], "the injected crash never fired"
+    assert row["shards_identical"], (
+        "resumed vote/label shards diverged from the uninterrupted run"
+    )
+    assert row["max_proba_diff"] <= PROBA_TOLERANCE, (
+        f"resumed model off by {row['max_proba_diff']:.2e} after final "
+        f"refit (tolerance {PROBA_TOLERANCE:.0e})"
+    )
+    assert row["peak_resident_records"] <= row["max_resident_records"], (
+        f"durable pipeline held {row['peak_resident_records']} records, "
+        f"over the bound of {row['max_resident_records']}"
+    )
+    assert row["checkpoints_written"] >= 1
+    assert row["manifest"] is not None
+
+    if row["examples"] >= 20_000:
+        assert row["throughput_ratio"] >= DURABLE_THROUGHPUT_FLOOR, (
+            f"durable streaming regressed: {row['throughput_ratio']:.2f}x "
+            f"< {DURABLE_THROUGHPUT_FLOOR}x offline at n={row['examples']}"
+        )
+    else:
+        # Smoke regime: scheduling + sink overhead dominates tiny streams.
+        assert row["throughput_ratio"] > 0.1

@@ -209,6 +209,45 @@ class SamplingFreeLabelModel:
         self.prior_logit = _logit(cfg.init_class_prior)
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Bit-exact snapshot of all mutable training state.
+
+        ``steps_taken`` is part of the snapshot so step-count-dependent
+        behavior (learning-rate schedules, loss-tracking cadence) never
+        restarts from zero on a resumed stream.
+        """
+        from repro.dfs.records import encode_ndarray
+
+        return {
+            "alpha": None if self.alpha is None else encode_ndarray(self.alpha),
+            "beta": None if self.beta is None else encode_ndarray(self.beta),
+            "prior_logit": self.prior_logit,
+            "n_lfs": self.n_lfs,
+            "steps_taken": self.steps_taken,
+            "loss_history": [[int(s), float(l)] for s, l in self.loss_history],
+        }
+
+    def load_state(self, state: dict) -> "SamplingFreeLabelModel":
+        """Restore a :meth:`state_dict` snapshot onto this instance."""
+        from repro.dfs.records import decode_ndarray
+
+        self.alpha = (
+            None if state["alpha"] is None else decode_ndarray(state["alpha"])
+        )
+        self.beta = (
+            None if state["beta"] is None else decode_ndarray(state["beta"])
+        )
+        self.prior_logit = float(state["prior_logit"])
+        self.n_lfs = state["n_lfs"]
+        self.steps_taken = int(state["steps_taken"])
+        self.loss_history = [
+            (int(s), float(l)) for s, l in state["loss_history"]
+        ]
+        return self
+
+    # ------------------------------------------------------------------
     # objective / gradient
     # ------------------------------------------------------------------
     def _gradients(

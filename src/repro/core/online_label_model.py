@@ -183,6 +183,81 @@ class OnlineLabelModel:
             self._model.partial_step(votes[idx])
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Bit-exact snapshot of everything :meth:`observe` mutates.
+
+        Includes the minibatch sampler's RNG state and both step
+        counters (``batches_observed`` here, ``steps_taken`` on the
+        inner model) so a restored model takes *exactly* the gradient
+        steps the uninterrupted run would have taken — resumed streams
+        converge to the same parameters to the bit, not just in
+        distribution.
+        """
+        from repro.dfs.records import encode_ndarray
+
+        def enc(array: np.ndarray | None):
+            return None if array is None else encode_ndarray(array)
+
+        return {
+            "schema": 1,
+            "n_lfs": self.n_lfs,
+            "n_observed": self.n_observed,
+            "batches_observed": self.batches_observed,
+            "refits_done": self.refits_done,
+            "rng_state": self._rng.bit_generator.state,
+            "pattern_rows": enc(
+                np.vstack(self._pattern_rows) if self._pattern_rows else None
+            ),
+            "row_ids": enc(
+                np.concatenate(self._row_ids) if self._row_ids else None
+            ),
+            "row_id_lengths": [len(ids) for ids in self._row_ids],
+            "vote_sum": enc(self._vote_sum),
+            "fire_sum": enc(self._fire_sum),
+            "agreement": enc(self._agreement),
+            "model": self._model.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> "OnlineLabelModel":
+        """Restore a :meth:`state_dict` snapshot onto this instance.
+
+        The instance must have been constructed with the same config the
+        snapshot was taken under (configs are the caller's contract, the
+        snapshot carries only mutable state).
+        """
+        from repro.dfs.records import decode_ndarray
+
+        def dec(payload):
+            return None if payload is None else decode_ndarray(payload)
+
+        self.n_lfs = state["n_lfs"]
+        self.n_observed = int(state["n_observed"])
+        self.batches_observed = int(state["batches_observed"])
+        self.refits_done = int(state["refits_done"])
+        self._rng = np.random.default_rng(self.config.seed)
+        self._rng.bit_generator.state = state["rng_state"]
+        rows = dec(state["pattern_rows"])
+        self._pattern_rows = [] if rows is None else [row for row in rows]
+        self._pattern_ids = {
+            row.tobytes(): i for i, row in enumerate(self._pattern_rows)
+        }
+        flat_ids = dec(state["row_ids"])
+        self._row_ids = []
+        if flat_ids is not None:
+            offset = 0
+            for length in state["row_id_lengths"]:
+                self._row_ids.append(flat_ids[offset:offset + length])
+                offset += length
+        self._vote_sum = dec(state["vote_sum"])
+        self._fire_sum = dec(state["fire_sum"])
+        self._agreement = dec(state["agreement"])
+        self._model = SamplingFreeLabelModel(replace(self.config.base))
+        self._model.load_state(state["model"])
+        return self
+
+    # ------------------------------------------------------------------
     # reconstruction + accessors
     # ------------------------------------------------------------------
     def reconstruct_matrix(self) -> np.ndarray:

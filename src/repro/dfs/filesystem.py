@@ -136,6 +136,33 @@ class DistributedFileSystem:
             if self._root is not None:
                 self._spill(path, data)
 
+    def finalize_as(self, staged_path: str, final_path: str) -> None:
+        """Atomically publish a staged file under a *different* name.
+
+        The write-then-rename idiom checkpoint writers depend on: data is
+        staged under a scratch name (``.staged-ckpt-00004``) and renamed
+        to its canonical name (``ckpt-00004``) in one step, so a reader
+        either sees the complete checkpoint or none at all — never a
+        half-written manifest. A crash before the rename leaves only the
+        invisible staged file, which the next writer can ``abandon``.
+        """
+        staged_path = _normalize(staged_path)
+        final_path = _normalize(final_path)
+        with self._lock:
+            if final_path in self._files:
+                raise DFSError(
+                    f"{final_path} already finalized; DFS files are immutable"
+                )
+            try:
+                data = bytes(self._staged.pop(staged_path))
+            except KeyError:
+                raise DFSError(
+                    f"{staged_path} is not staged for writing"
+                ) from None
+            self._files[final_path] = data
+            if self._root is not None:
+                self._spill(final_path, data)
+
     def abandon(self, path: str) -> None:
         """Discard a staged file (a crashed writer's temp output)."""
         path = _normalize(path)

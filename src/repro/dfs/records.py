@@ -18,10 +18,13 @@ independent executables.
 
 from __future__ import annotations
 
+import base64
 import json
 import struct
 import zlib
 from typing import Any, Iterable, Iterator
+
+import numpy as np
 
 from repro.dfs.filesystem import DistributedFileSystem
 
@@ -34,6 +37,8 @@ __all__ = [
     "stream_records",
     "iter_record_blobs",
     "iter_record_blocks",
+    "encode_ndarray",
+    "decode_ndarray",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_READ_CHUNK",
 ]
@@ -59,6 +64,29 @@ def encode_record(payload: dict[str, Any]) -> bytes:
     """Frame one JSON payload with length and CRC."""
     body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
     return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def encode_ndarray(array: np.ndarray) -> dict[str, Any]:
+    """JSON-safe, *bit-exact* encoding of a NumPy array.
+
+    Checkpoint manifests must restore model state to the byte — a
+    float64 that drifts in the last ulp breaks the resumed-run ==
+    uninterrupted-run guarantee — so arrays travel as base64 of their
+    raw buffer plus dtype/shape, never as decimal strings.
+    """
+    array = np.ascontiguousarray(array)
+    return {
+        "__ndarray__": base64.b64encode(array.tobytes()).decode("ascii"),
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+    }
+
+
+def decode_ndarray(payload: dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_ndarray`; returns a writable array."""
+    raw = base64.b64decode(payload["__ndarray__"])
+    array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return array.reshape(payload["shape"]).copy()
 
 
 def decode_records(blob: bytes) -> Iterator[dict[str, Any]]:
@@ -88,15 +116,30 @@ class RecordWriter:
 
     Usable as a context manager; the file only becomes visible to readers
     when the writer exits cleanly (finalize-on-close), reproducing the
-    write-once publish semantics LF binaries depend on.
+    write-once publish semantics LF binaries depend on. When
+    ``final_path`` is given, records are staged under ``path`` and
+    atomically renamed to ``final_path`` on close (write-then-rename) —
+    the checkpoint-manifest idiom where the canonical name must never
+    name a partial file.
     """
 
-    def __init__(self, dfs: DistributedFileSystem, path: str) -> None:
+    def __init__(
+        self,
+        dfs: DistributedFileSystem,
+        path: str,
+        final_path: str | None = None,
+    ) -> None:
         self._dfs = dfs
         self._path = path
+        self._final_path = final_path
         self._count = 0
         self._open = True
         dfs.create(path)
+
+    @property
+    def final_path(self) -> str:
+        """Where the records will be visible after a clean close."""
+        return self._final_path or self._path
 
     def write(self, payload: dict[str, Any]) -> None:
         if not self._open:
@@ -106,7 +149,10 @@ class RecordWriter:
 
     def close(self) -> None:
         if self._open:
-            self._dfs.finalize(self._path)
+            if self._final_path is not None:
+                self._dfs.finalize_as(self._path, self._final_path)
+            else:
+                self._dfs.finalize(self._path)
             self._open = False
 
     def abandon(self) -> None:

@@ -116,6 +116,14 @@ def append_bench_history(
     return path
 
 
+#: History fields that define a benchmark *configuration*. Entries whose
+#: values differ on any of these never share a trend window: comparing a
+#: ``REPRO_BENCH_N=4000`` smoke run against 20k-example history (or a
+#: ``REPRO_SCALE`` change) flags spurious >20% "regressions" that are
+#: really workload changes.
+TREND_CONFIG_KEYS = ("scale", "examples")
+
+
 def check_history_trend(
     section: str,
     metric: str,
@@ -125,24 +133,30 @@ def check_history_trend(
     min_history: int = 3,
     path: str | None = None,
     match: dict | None = None,
+    config_keys: tuple[str, ...] = TREND_CONFIG_KEYS,
 ) -> dict | None:
     """Compare the latest history entry against its trailing median.
 
     Reads the last ``window`` prior entries for ``(section, metric)``
     and flags the newest one when it regresses more than ``tolerance``
     (default 20%) from their median — the complement of the hard
-    speedup floors, which only catch cliff-edge regressions. ``match``
-    restricts the series to entries whose fields equal the given values
-    (e.g. ``{"scale": "small", "examples": 20000}``) so smoke runs and
-    full runs never share a trend line. Returns a diagnostic dict when
+    speedup floors, which only catch cliff-edge regressions.
+
+    The window is keyed strictly per configuration: prior entries only
+    join the trend line when their ``config_keys`` fields
+    (scale / example count by default) equal the newest entry's, so a
+    history that spans a ``REPRO_BENCH_N`` or ``REPRO_SCALE`` change
+    never mixes configurations even when the caller passes no explicit
+    ``match``. ``match`` additionally restricts the series to entries
+    whose fields equal the given values. Returns a diagnostic dict when
     flagged, ``None`` when healthy or when fewer than ``min_history``
-    prior runs exist (fresh checkouts and CI machines with no baseline
-    stay green).
+    prior same-configuration runs exist (fresh checkouts and CI machines
+    with no baseline stay green).
     """
     path = path or bench_history_path()
     if not os.path.exists(path):
         return None
-    values: list[float] = []
+    entries: list[dict] = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
@@ -158,7 +172,22 @@ def check_history_trend(
                 entry.get(key) != value for key, value in match.items()
             ):
                 continue
-            values.append(float(entry[metric]))
+            entries.append(entry)
+    if not entries:
+        return None
+    # Key the window per configuration: the newest entry defines the
+    # configuration under test; history rows recorded under any other
+    # configuration are a different workload, not a different speed.
+    config = {
+        key: entries[-1].get(key)
+        for key in config_keys
+        if key in entries[-1]
+    }
+    values = [
+        float(entry[metric])
+        for entry in entries
+        if all(entry.get(key) == value for key, value in config.items())
+    ]
     if len(values) < min_history + 1:
         return None
     latest = values[-1]
@@ -180,6 +209,7 @@ def check_history_trend(
         "ratio": ratio,
         "window": len(trailing),
         "tolerance": tolerance,
+        "config": config,
     }
 
 

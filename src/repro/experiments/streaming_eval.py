@@ -47,10 +47,15 @@ from repro.experiments.harness import (
     get_content_experiment,
 )
 from repro.lf.applier import apply_lfs_in_memory, stage_examples
-from repro.streaming import MicroBatchPipeline, RecordStreamSource
+from repro.streaming import (
+    CheckpointedStream,
+    MicroBatchPipeline,
+    RecordStreamSource,
+    SimulatedCrash,
+)
 from repro.types import Example
 
-__all__ = ["run_streaming_eval", "DEFAULT_MICRO_BATCH"]
+__all__ = ["run_streaming_eval", "run_crash_recovery", "DEFAULT_MICRO_BATCH"]
 
 #: Default micro-batch size: big enough that the fused executor and
 #: NumPy kernels dominate dispatch, small enough that two resident
@@ -268,3 +273,185 @@ def run_streaming_eval(
         }
     ]
     return ExperimentResult("streaming_eval", "\n".join(lines), rows)
+
+
+def run_crash_recovery(
+    scale: str | None = None,
+    seed: int = DEFAULT_SEED,
+    n_examples: int = 20_000,
+    batch_size: int = DEFAULT_MICRO_BATCH,
+    num_shards: int = 8,
+    checkpoint_every: int = 2,
+    crash_after_fraction: float = 0.45,
+) -> ExperimentResult:
+    """Durable streaming: sink overhead + crash-resume equivalence.
+
+    Three arms over the same staged shards:
+
+    * **offline** — decode + label everything in one batch (the
+      throughput reference, as in :func:`run_streaming_eval`);
+    * **checkpointed** — the full durable pipeline: vote + label sinks,
+      a checkpoint manifest every ``checkpoint_every`` batches; timed,
+      because persistence is only a production path if its overhead is
+      bounded;
+    * **crash + resume** — the same durable pipeline killed after the
+      batch at ``crash_after_fraction`` of the stream, then resumed from
+      the manifest. Every byte under the recovery root (vote shards,
+      label shards, checkpoint manifests) must equal the uninterrupted
+      arm's, and the final refit posteriors must agree to <= 1e-6
+      (bitwise in practice).
+    """
+    exp = get_content_experiment("product", scale, seed)
+    pool = exp.dataset.unlabeled
+    n = min(n_examples, len(pool))
+    lfs = exp.lfs
+
+    dfs = DistributedFileSystem()
+    shard_paths = stage_examples(
+        dfs, pool[:n], "/recovery/examples", num_shards=num_shards
+    )
+
+    # ------------------------------------------------------------------
+    # offline reference: decode + label, no persistence
+    # ------------------------------------------------------------------
+    offline_start = time.perf_counter()
+    offline_examples = [
+        Example.from_record(record)
+        for record in iter_record_blobs(dfs, shard_paths)
+    ]
+    apply_lfs_in_memory(lfs, offline_examples)
+    offline_wall = time.perf_counter() - offline_start
+    offline_eps = n / offline_wall if offline_wall > 0 else float("inf")
+
+    online_config = OnlineLabelModelConfig(
+        base=LabelModelConfig(seed=seed), seed=seed
+    )
+
+    def make_runner(root: str) -> CheckpointedStream:
+        return CheckpointedStream(
+            dfs,
+            lfs,
+            root,
+            batch_size=batch_size,
+            max_resident_batches=2,
+            online_config=online_config,
+            checkpoint_every=checkpoint_every,
+        )
+
+    # ------------------------------------------------------------------
+    # uninterrupted durable run (timed: the sink-overhead arm)
+    # ------------------------------------------------------------------
+    uninterrupted = make_runner("/recovery/full")
+    full_report = uninterrupted.run(RecordStreamSource(dfs, shard_paths))
+    durable_eps = full_report.stream.examples_per_second
+    throughput_ratio = durable_eps / offline_eps if offline_eps > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # crash after ~crash_after_fraction of the batches, then resume
+    # ------------------------------------------------------------------
+    total_batches = full_report.stream.batches
+    crash_after = max(0, min(
+        total_batches - 2, int(total_batches * crash_after_fraction)
+    ))
+    crashed = make_runner("/recovery/resumed")
+    crash_seen = False
+    try:
+        crashed.run(
+            RecordStreamSource(dfs, shard_paths),
+            fail_after_batch=crash_after,
+        )
+    except SimulatedCrash:
+        crash_seen = True
+    resumed = make_runner("/recovery/resumed")
+    resumed_report = resumed.run(RecordStreamSource(dfs, shard_paths))
+
+    # ------------------------------------------------------------------
+    # equivalence: every durable byte, then the final posteriors
+    # ------------------------------------------------------------------
+    full_files = {
+        path[len("/recovery/full"):]: dfs.read_file(path)
+        for path in dfs.list("/recovery/full")
+    }
+    resumed_files = {
+        path[len("/recovery/resumed"):]: dfs.read_file(path)
+        for path in dfs.list("/recovery/resumed")
+    }
+    shards_identical = full_files == resumed_files
+
+    L = uninterrupted.online.reconstruct_matrix()
+    final_full = uninterrupted.online.refit()
+    final_resumed = resumed.online.refit()
+    max_proba_diff = float(
+        np.max(
+            np.abs(
+                final_full.predict_proba(L) - final_resumed.predict_proba(L)
+            )
+        )
+        if len(L)
+        else 0.0
+    )
+
+    manifest = uninterrupted.manager.latest()
+    manifest_bytes = (
+        dfs.size(manifest.path) if manifest is not None else 0
+    )
+
+    lines = [
+        "Durable streaming: checkpointed sinks + crash-resume "
+        f"({n:,} examples, {len(lfs)} LFs, micro-batch {batch_size}, "
+        f"checkpoint every {checkpoint_every} batches)",
+        "",
+        f"{'durable streaming (sinks + ckpt)':<34} {durable_eps:>12,.0f} examples/s",
+        f"{'offline batch (decode + label)':<34} {offline_eps:>12,.0f} examples/s",
+        f"{'durable / offline':<34} {throughput_ratio:>12.2f}x",
+        f"{'peak resident records':<34} "
+        f"{full_report.stream.peak_resident_records:>12,} "
+        f"(bound: {full_report.stream.max_resident_records:,})",
+        f"{'vote+label shards written':<34} "
+        f"{len(full_files):>12,} files",
+        f"{'checkpoints written':<34} "
+        f"{full_report.checkpoints_written:>12,} "
+        f"(last manifest {manifest_bytes:,} bytes)",
+        f"{'crash injected after batch':<34} {crash_after:>12,} "
+        f"of {total_batches:,}",
+        f"{'resumed from batch':<34} "
+        f"{str(resumed_report.resumed_from_batch):>12} "
+        f"(skipped {resumed_report.skipped_examples:,} examples, "
+        f"deleted {len(resumed_report.orphan_shards_deleted)} orphan shards)",
+        f"{'resumed bytes == uninterrupted':<34} {str(shards_identical):>12}",
+        f"{'posterior gap after final refit':<34} {max_proba_diff:>12.2e}",
+    ]
+    rows = [
+        {
+            "examples": n,
+            "lfs": len(lfs),
+            "micro_batch": batch_size,
+            "checkpoint_every": checkpoint_every,
+            "durable_examples_per_second": durable_eps,
+            "offline_examples_per_second": offline_eps,
+            "throughput_ratio": throughput_ratio,
+            "peak_resident_records": full_report.stream.peak_resident_records,
+            "max_resident_records": full_report.stream.max_resident_records,
+            "checkpoints_written": full_report.checkpoints_written,
+            "manifest_bytes": manifest_bytes,
+            "crash_after_batch": crash_after,
+            "crash_seen": crash_seen,
+            "resumed_from_batch": resumed_report.resumed_from_batch,
+            "skipped_examples": resumed_report.skipped_examples,
+            "orphan_shards_deleted": len(
+                resumed_report.orphan_shards_deleted
+            ),
+            "shards_identical": shards_identical,
+            "max_proba_diff": max_proba_diff,
+            "manifest": None
+            if manifest is None
+            else {
+                "path": manifest.path,
+                "batch": manifest.batch,
+                "cursor": manifest.cursor,
+                "meta": manifest.meta,
+                "bytes": manifest_bytes,
+            },
+        }
+    ]
+    return ExperimentResult("streaming_recovery", "\n".join(lines), rows)

@@ -18,6 +18,14 @@ engine of PR 1 into that continuous pipeline:
   a fixed number of micro-batches), driving the same block-labeling
   kernel as the offline applier so streamed votes are vote-for-vote
   identical to an offline run;
+* :mod:`repro.streaming.sinks` — durable per-batch outputs: vote and
+  probabilistic-label record shards published atomically per finalized
+  micro-batch;
+* :mod:`repro.streaming.checkpoint` — the fault-tolerance layer:
+  checkpoint manifests (write-then-rename) snapshot the online model,
+  the end model, and the source cursor, and
+  :class:`CheckpointedStream` resumes an interrupted stream to
+  byte-identical outputs;
 * :class:`repro.core.online_label_model.OnlineLabelModel` — the
   incremental generative model the pipeline feeds (exported here for
   convenience).
@@ -30,11 +38,19 @@ from repro.core.online_label_model import (
     OnlineLabelModel,
     OnlineLabelModelConfig,
 )
+from repro.streaming.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    CheckpointedRunReport,
+    CheckpointedStream,
+    SimulatedCrash,
+)
 from repro.streaming.pipeline import (
     MicroBatchPipeline,
     PipelineStats,
     StreamReport,
 )
+from repro.streaming.sinks import LabelSink, RecordBatchSink, VoteSink
 from repro.streaming.sources import (
     ExampleSource,
     MemorySource,
@@ -50,6 +66,14 @@ __all__ = [
     "MicroBatchPipeline",
     "PipelineStats",
     "StreamReport",
+    "RecordBatchSink",
+    "VoteSink",
+    "LabelSink",
+    "Checkpoint",
+    "CheckpointManager",
+    "CheckpointedStream",
+    "CheckpointedRunReport",
+    "SimulatedCrash",
     "OnlineLabelModel",
     "OnlineLabelModelConfig",
 ]

@@ -1,0 +1,414 @@
+"""Checkpointing + crash-resume for the micro-batch streaming pipeline.
+
+This is what turns the streaming subsystem from an in-memory pipe into a
+restartable production job: every finalized micro-batch's outputs are
+durable (:mod:`repro.streaming.sinks`), and a *checkpoint manifest*
+periodically snapshots everything else a resumed stream needs —
+
+* the last finalized batch id and the source cursor (examples consumed),
+* the :class:`~repro.core.online_label_model.OnlineLabelModel`'s full
+  mutable state: vote moments, the dictionary-encoded pattern log, the
+  minibatch sampler's RNG state, and both step counters,
+* optionally the FTRL end model's per-coordinate optimizer state.
+
+Manifests are written with the write-then-rename idiom
+(:meth:`repro.dfs.filesystem.DistributedFileSystem.finalize_as`): staged
+under a scratch name, renamed to ``ckpt-{batch:06d}`` in one step, so the
+canonical name never points at a partial manifest. Manifests contain no
+wall-clock state — the same stream prefix always produces the same bytes.
+
+Recovery contract (asserted by the crash-resume tests and the
+``bench_streaming`` gate): interrupt the stream after ANY finalized
+micro-batch, resume with :meth:`CheckpointedStream.run`, and the vote /
+label shards and final model posteriors are byte-identical to an
+uninterrupted run. The mechanism:
+
+1. resume loads the newest manifest and restores model state to the bit;
+2. *orphan* shards newer than the manifest (finalized after the last
+   checkpoint but before the crash) are deleted and re-derived — durable
+   output is only ever trusted up to the manifest's batch;
+3. the source is replayed from the manifest's cursor and batch numbering
+   continues from the manifest's batch id, so shard names, batch
+   boundaries, RNG draws, and gradient steps all line up with the run
+   that never crashed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.online_label_model import OnlineLabelModel, OnlineLabelModelConfig
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.records import RecordWriter, read_records
+from repro.discriminative.logistic import NoiseAwareLogisticRegression
+from repro.lf.base import AbstractLabelingFunction
+from repro.streaming.pipeline import MicroBatchPipeline, StreamReport
+from repro.streaming.sinks import LabelSink, VoteSink
+from repro.types import Example
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "CheckpointedStream",
+    "CheckpointedRunReport",
+    "SimulatedCrash",
+]
+
+#: Manifest schema version, bumped on incompatible layout changes.
+MANIFEST_SCHEMA = 1
+
+_MANIFEST_RE = re.compile(r"/ckpt-(?P<batch>\d{6,})$")
+
+
+class SimulatedCrash(RuntimeError):
+    """Injected failure for crash-recovery tests and benchmarks."""
+
+
+@dataclass
+class Checkpoint:
+    """One loaded manifest: durable progress plus restorable state."""
+
+    path: str
+    batch: int
+    cursor: int
+    meta: dict
+    label_model_state: dict
+    end_model_state: dict | None = None
+
+
+class CheckpointManager:
+    """Reads and writes checkpoint manifests under ``{root}/checkpoints``."""
+
+    def __init__(self, dfs: DistributedFileSystem, root: str) -> None:
+        self._dfs = dfs
+        self.root = root.rstrip("/")
+        self.directory = f"{self.root}/checkpoints"
+
+    def manifest_path(self, batch: int) -> str:
+        return f"{self.directory}/ckpt-{batch:06d}"
+
+    # ------------------------------------------------------------------
+    # write
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        batch: int,
+        cursor: int,
+        label_model_state: dict,
+        end_model_state: dict | None = None,
+        meta: dict | None = None,
+    ) -> str:
+        """Atomically publish one manifest; returns its path."""
+        final = self.manifest_path(batch)
+        staged = f"{self.directory}/.staged-ckpt-{batch:06d}"
+        # A writer that crashed after create() but before the rename
+        # leaves an invisible staged file under this name; clear it.
+        self._dfs.abandon(staged)
+        with RecordWriter(self._dfs, staged, final_path=final) as writer:
+            writer.write(
+                {
+                    "kind": "meta",
+                    "schema": MANIFEST_SCHEMA,
+                    "batch": batch,
+                    "cursor": cursor,
+                    **(meta or {}),
+                }
+            )
+            writer.write({"kind": "label_model", "state": label_model_state})
+            if end_model_state is not None:
+                writer.write({"kind": "end_model", "state": end_model_state})
+        return final
+
+    # ------------------------------------------------------------------
+    # read
+    # ------------------------------------------------------------------
+    def manifest_paths(self) -> list[str]:
+        """All finalized manifests, oldest first.
+
+        Ordered by the parsed batch id, not lexicographically — names
+        grow past their 6-digit zero padding at batch 1,000,000, where
+        string order would rank ``ckpt-1000000`` before ``ckpt-999999``.
+        """
+        matched = [
+            (int(match.group("batch")), path)
+            for path in self._dfs.list(f"{self.directory}/")
+            if (match := _MANIFEST_RE.search(path))
+        ]
+        return [path for _, path in sorted(matched)]
+
+    def latest_path(self) -> str | None:
+        """Path of the newest manifest without decoding it."""
+        paths = self.manifest_paths()
+        return paths[-1] if paths else None
+
+    def latest(self) -> Checkpoint | None:
+        """The newest finalized manifest, or ``None`` on a fresh root."""
+        path = self.latest_path()
+        return None if path is None else self.load(path)
+
+    def load(self, path: str) -> Checkpoint:
+        records = read_records(self._dfs, path)
+        if not records or records[0].get("kind") != "meta":
+            raise ValueError(f"{path} is not a checkpoint manifest")
+        meta = records[0]
+        if meta.get("schema") != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"{path} has manifest schema {meta.get('schema')!r}, "
+                f"this reader supports {MANIFEST_SCHEMA}"
+            )
+        states = {r["kind"]: r["state"] for r in records[1:]}
+        if "label_model" not in states:
+            raise ValueError(f"{path} is missing the label-model state")
+        return Checkpoint(
+            path=path,
+            batch=int(meta["batch"]),
+            cursor=int(meta["cursor"]),
+            meta={
+                k: v
+                for k, v in meta.items()
+                if k not in ("kind", "schema", "batch", "cursor")
+            },
+            label_model_state=states["label_model"],
+            end_model_state=states.get("end_model"),
+        )
+
+
+@dataclass
+class CheckpointedRunReport:
+    """Everything one checkpointed (possibly resumed) run reports."""
+
+    stream: StreamReport
+    resumed_from_batch: int | None
+    skipped_examples: int
+    batches_finalized: int
+    last_batch_seq: int
+    checkpoints_written: int
+    orphan_shards_deleted: list[str] = field(default_factory=list)
+    manifest_path: str | None = None
+
+
+class _CheckpointSink:
+    """Pipeline sink that advances the cursor and writes manifests."""
+
+    name = "checkpoint"
+
+    def __init__(self, runner: "CheckpointedStream") -> None:
+        self._runner = runner
+
+    def __call__(
+        self, seq: int, examples: list[Example], votes: np.ndarray
+    ) -> None:
+        self._runner._finalize_batch(seq, len(examples))
+
+
+class CheckpointedStream:
+    """Durable, resumable micro-batch labeling over an example source.
+
+    Owns the online label model (and optionally a prequential FTRL end
+    model), wires :class:`VoteSink` / :class:`LabelSink` into the
+    pipeline's sink stage, checkpoints every ``checkpoint_every``
+    finalized batches plus once at stream end, and — when the root
+    already holds a manifest — resumes instead of restarting: restore
+    state, drop orphan shards, skip consumed examples, continue batch
+    numbering. ``run`` is idempotent; invoking it on a completed root
+    replays nothing and rewrites nothing.
+    """
+
+    def __init__(
+        self,
+        dfs: DistributedFileSystem,
+        lfs: Sequence[AbstractLabelingFunction],
+        root: str,
+        batch_size: int = 1024,
+        max_resident_batches: int = 2,
+        online_config: OnlineLabelModelConfig | None = None,
+        checkpoint_every: int = 1,
+        write_labels: bool = True,
+        end_model: NoiseAwareLogisticRegression | None = None,
+        featurizer=None,
+        end_model_epochs: int = 1,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if (end_model is None) != (featurizer is None):
+            raise ValueError(
+                "end_model and featurizer must be supplied together"
+            )
+        self._dfs = dfs
+        self.lfs = list(lfs)
+        self.root = root.rstrip("/")
+        self.batch_size = batch_size
+        self.max_resident_batches = max_resident_batches
+        self.online_config = online_config or OnlineLabelModelConfig()
+        self.checkpoint_every = checkpoint_every
+        self.write_labels = write_labels
+        self.end_model = end_model
+        self.featurizer = featurizer
+        self.end_model_epochs = end_model_epochs
+        self.manager = CheckpointManager(dfs, self.root)
+        self.online = OnlineLabelModel(self.online_config)
+        # Per-run state, rebuilt by run().
+        self._cursor = 0
+        self._last_seq = -1
+        self._last_checkpoint_seq = -1
+        self._checkpoints_written = 0
+        self._fail_after: int | None = None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        source: Iterable[Example],
+        fail_after_batch: int | None = None,
+    ) -> CheckpointedRunReport:
+        """Fresh run or resume, decided by the manifest directory.
+
+        ``fail_after_batch`` injects a :class:`SimulatedCrash` once the
+        batch with that (absolute) sequence number is fully finalized —
+        shards written, manifest written if due — which is exactly the
+        failure envelope a real crash-resume must survive.
+        """
+        checkpoint = self.manager.latest()
+        self.online = OnlineLabelModel(self.online_config)
+        resumed_from: int | None = None
+        cursor = 0
+        lf_names = [lf.name for lf in self.lfs]
+        if checkpoint is not None:
+            stored = checkpoint.meta.get("batch_size")
+            if stored is not None and stored != self.batch_size:
+                raise ValueError(
+                    f"cannot resume with batch_size={self.batch_size}; "
+                    f"the manifest was written with batch_size={stored} "
+                    "and resume must reproduce batch boundaries"
+                )
+            stored_lfs = checkpoint.meta.get("lf_names")
+            if stored_lfs is not None and stored_lfs != lf_names:
+                raise ValueError(
+                    "cannot resume with a different LF suite: the "
+                    f"manifest was written with {stored_lfs}, this run "
+                    f"has {lf_names}; new shards would not be "
+                    "column-compatible with the durable ones"
+                )
+            self.online.load_state(checkpoint.label_model_state)
+            if self.end_model is not None:
+                if checkpoint.end_model_state is None:
+                    raise ValueError(
+                        "manifest has no end-model state but this run "
+                        "trains an end model"
+                    )
+                self.end_model.load_state(checkpoint.end_model_state)
+            resumed_from = checkpoint.batch
+            cursor = checkpoint.cursor
+
+        vote_sink = VoteSink(self._dfs, self.root, lf_names)
+        sinks: list = [vote_sink]
+        label_sink = None
+        if self.write_labels:
+            label_sink = LabelSink(self._dfs, self.root, self._label_proba)
+            sinks.append(label_sink)
+        sinks.append(_CheckpointSink(self))
+
+        # Recovery truncation: durable output is only trusted up to the
+        # manifest — anything newer was mid-flight when we died.
+        last_durable = -1 if resumed_from is None else resumed_from
+        orphans = vote_sink.delete_after(last_durable)
+        if label_sink is not None:
+            orphans += label_sink.delete_after(last_durable)
+
+        self._cursor = cursor
+        self._last_seq = last_durable
+        self._last_checkpoint_seq = last_durable
+        self._checkpoints_written = 0
+        self._fail_after = fail_after_batch
+
+        pipeline = MicroBatchPipeline(
+            self.lfs,
+            batch_size=self.batch_size,
+            max_resident_batches=self.max_resident_batches,
+            on_batch=self._learn,
+            sinks=sinks,
+            first_batch_seq=last_durable + 1,
+        )
+        stream = iter(source)
+        if cursor:
+            stream = islice(stream, cursor, None)
+        report = pipeline.run(stream)
+
+        # Stream drained cleanly: pin the final state even when the last
+        # batch fell between checkpoint cadences.
+        if self._last_seq > self._last_checkpoint_seq:
+            self._write_checkpoint(self._last_seq)
+        return CheckpointedRunReport(
+            stream=report,
+            resumed_from_batch=resumed_from,
+            skipped_examples=cursor,
+            batches_finalized=report.batches,
+            last_batch_seq=self._last_seq,
+            checkpoints_written=self._checkpoints_written,
+            orphan_shards_deleted=orphans,
+            manifest_path=self.manager.latest_path(),
+        )
+
+    # ------------------------------------------------------------------
+    # per-batch stages (consumer thread)
+    # ------------------------------------------------------------------
+    def _learn(
+        self, seq: int, examples: list[Example], votes: np.ndarray
+    ) -> None:
+        """Model updates — runs before the durable sinks."""
+        self.online.observe(votes)
+        if self.end_model is None:
+            return
+        covered = np.abs(votes).sum(axis=1) > 0
+        if covered.any():
+            soft = self.online.predict_proba(votes[covered])
+            X = self.featurizer.transform(
+                [e for e, keep in zip(examples, covered) if keep]
+            )
+            self.end_model.partial_fit(X, soft, epochs=self.end_model_epochs)
+
+    def _label_proba(self, votes: np.ndarray) -> np.ndarray:
+        """Posterior from the *current* online model for the label sink."""
+        model = self.online.model
+        if model.alpha is None:
+            # No parameters yet (steps_per_batch=0 before any refit):
+            # every row carries only the configured class prior.
+            return np.full(votes.shape[0], model.class_prior())
+        return self.online.predict_proba(votes)
+
+    def _finalize_batch(self, seq: int, n_examples: int) -> None:
+        """Last sink stage: advance the cursor, checkpoint, maybe crash."""
+        self._cursor += n_examples
+        self._last_seq = seq
+        if (seq + 1) % self.checkpoint_every == 0:
+            self._write_checkpoint(seq)
+        if self._fail_after is not None and seq >= self._fail_after:
+            raise SimulatedCrash(
+                f"injected crash after finalizing batch {seq}"
+            )
+
+    def _write_checkpoint(self, seq: int) -> str:
+        path = self.manager.write(
+            seq,
+            self._cursor,
+            self.online.state_dict(),
+            end_model_state=(
+                None if self.end_model is None else self.end_model.state_dict()
+            ),
+            meta={
+                "batch_size": self.batch_size,
+                "checkpoint_every": self.checkpoint_every,
+                "lf_names": [lf.name for lf in self.lfs],
+            },
+        )
+        self._last_checkpoint_seq = seq
+        self._checkpoints_written += 1
+        return path

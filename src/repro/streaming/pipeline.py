@@ -134,6 +134,8 @@ class MicroBatchPipeline:
         max_resident_batches: int = 2,
         on_batch: BatchSink | None = None,
         collect_votes: bool = False,
+        sinks: Sequence[BatchSink] | None = None,
+        first_batch_seq: int = 0,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -141,11 +143,25 @@ class MicroBatchPipeline:
             raise ValueError(
                 f"max_resident_batches must be >= 1, got {max_resident_batches}"
             )
+        if first_batch_seq < 0:
+            raise ValueError(
+                f"first_batch_seq must be >= 0, got {first_batch_seq}"
+            )
         self.lfs = list(lfs)
         self.batch_size = batch_size
         self.max_resident_batches = max_resident_batches
         self.on_batch = on_batch
         self.collect_votes = collect_votes
+        #: Ordered sink stage: each callable runs after ``on_batch``, on
+        #: the consumer thread, while the batch holds its residency
+        #: permit (sink time is therefore part of the backpressure
+        #: accounting — a slow sink stalls ingest, it does not grow
+        #: memory). Each sink gets its own counters keyed by its ``name``
+        #: attribute (class name when absent).
+        self.sinks = list(sinks) if sinks else []
+        #: Batch numbering offset — a resumed stream continues the
+        #: uninterrupted run's sequence so sink shard names line up.
+        self.first_batch_seq = first_batch_seq
 
     # ------------------------------------------------------------------
     # execution
@@ -173,7 +189,7 @@ class MicroBatchPipeline:
                 batches = iter_example_batches(
                     counted(iter(source)), self.batch_size
                 )
-                seq = 0
+                seq = self.first_batch_seq
                 while not stop.is_set():
                     # Admission control: hold a residency permit BEFORE
                     # decoding the next batch's records.
@@ -242,12 +258,29 @@ class MicroBatchPipeline:
                 batch_votes = int(np.count_nonzero(votes))
                 votes_emitted += batch_votes
                 counters.increment("label/votes", batch_votes)
-                if self.on_batch is not None:
-                    sink_start = time.perf_counter()
-                    self.on_batch(batch.seq, batch.examples, votes)
-                    counters.increment(
-                        "sink/us", int((time.perf_counter() - sink_start) * 1e6)
-                    )
+                if self.on_batch is not None or self.sinks:
+                    if self.on_batch is not None:
+                        sink_start = time.perf_counter()
+                        self.on_batch(batch.seq, batch.examples, votes)
+                        counters.increment(
+                            "sink/us",
+                            int((time.perf_counter() - sink_start) * 1e6),
+                        )
+                    for sink in self.sinks:
+                        sink_start = time.perf_counter()
+                        sink(batch.seq, batch.examples, votes)
+                        elapsed_us = int(
+                            (time.perf_counter() - sink_start) * 1e6
+                        )
+                        name = getattr(
+                            sink, "name", type(sink).__name__
+                        )
+                        counters.increment("sink/us", elapsed_us)
+                        counters.increment(f"sink/{name}/us", elapsed_us)
+                        counters.increment(f"sink/{name}/batches")
+                        counters.increment(
+                            f"sink/{name}/records", len(batch.examples)
+                        )
                     counters.increment("sink/batches")
                 if self.collect_votes:
                     collected_votes.append(votes)

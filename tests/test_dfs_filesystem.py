@@ -78,6 +78,31 @@ class TestWritePath:
         dfs.finalize("/x")
         assert dfs.read_file("/x") == b"abcd"
 
+    def test_finalize_as_renames_atomically(self, dfs):
+        dfs.create("/ckpt/.staged")
+        dfs.append("/ckpt/.staged", b"manifest")
+        assert not dfs.exists("/ckpt/final")
+        dfs.finalize_as("/ckpt/.staged", "/ckpt/final")
+        assert dfs.read_file("/ckpt/final") == b"manifest"
+        # The staged name is gone on both sides of the namespace.
+        assert not dfs.exists("/ckpt/.staged")
+        with pytest.raises(DFSError, match="not staged"):
+            dfs.append("/ckpt/.staged", b"more")
+
+    def test_finalize_as_respects_immutability(self, dfs):
+        dfs.write_file("/ckpt/final", b"first")
+        dfs.create("/ckpt/.staged")
+        with pytest.raises(DFSError, match="immutable"):
+            dfs.finalize_as("/ckpt/.staged", "/ckpt/final")
+        # The staged file survives the refused rename.
+        dfs.append("/ckpt/.staged", b"x")
+        dfs.finalize_as("/ckpt/.staged", "/ckpt/other")
+        assert dfs.read_file("/ckpt/other") == b"x"
+
+    def test_finalize_as_requires_staging(self, dfs):
+        with pytest.raises(DFSError, match="not staged"):
+            dfs.finalize_as("/nope", "/ckpt/final")
+
 
 class TestPathValidation:
     def test_relative_paths_rejected(self, dfs):

@@ -147,6 +147,46 @@ class TestStreamingReads:
                 list(RecordReader(dfs, f"/r/trunc{cut}", chunk_size=8))
             assert str(stream_error.value) == str(blob_error.value)
 
+    def test_every_truncation_point_raises_like_the_blob_path(self, dfs):
+        """A shard cut anywhere mid-record must never end silently.
+
+        Sweeps *every* truncation offset of a multi-record shard — in
+        particular cuts that land inside the final chunk, mid-header and
+        mid-body of the last record — and checks the streaming reader
+        raises exactly the whole-blob diagnostic at several chunk sizes
+        (including one smaller than a record, so the truncated record
+        spans the last two chunks).
+        """
+        blob = b"".join(
+            encode_record({"i": i, "pad": "x" * (3 * i)}) for i in range(4)
+        )
+        clean_cuts = set()
+        offset = 0
+        while offset < len(blob):
+            clean_cuts.add(offset)
+            length = int.from_bytes(blob[offset:offset + 4], "big")
+            offset += 8 + length
+        for cut in range(len(blob)):
+            truncated = blob[:cut]
+            path = f"/r/sweep{cut}"
+            dfs.write_file(path, truncated)
+            if cut in clean_cuts:
+                # A cut on a record boundary is a short file, not a
+                # corrupt one; both paths must agree on that too.
+                records = list(decode_records(truncated))
+                for chunk_size in (8, 13, 1 << 20):
+                    assert (
+                        list(RecordReader(dfs, path, chunk_size=chunk_size))
+                        == records
+                    )
+                continue
+            with pytest.raises(RecordCorruption) as blob_error:
+                list(decode_records(truncated))
+            for chunk_size in (8, 13, 1 << 20):
+                with pytest.raises(RecordCorruption) as stream_error:
+                    list(RecordReader(dfs, path, chunk_size=chunk_size))
+                assert str(stream_error.value) == str(blob_error.value)
+
     def test_rejects_tiny_chunk_size(self, dfs):
         write_records(dfs, "/r/x", [{"i": 1}])
         with pytest.raises(ValueError, match="chunk_size"):

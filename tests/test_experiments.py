@@ -232,3 +232,53 @@ class TestBenchHistory:
         )
         assert flag is not None
         assert flag["trailing_median"] == pytest.approx(100.0)
+
+    def test_window_is_keyed_per_configuration_without_match(self, tmp_path):
+        """Regression: a window spanning a config change must not mix
+        configurations even when the caller passes no explicit match.
+
+        History: four full-N runs, then a REPRO_BENCH_N=4000 smoke run.
+        The smoke entry is ~20x slower than the full-N median — keyed
+        per configuration it has no baseline yet and stays green; the
+        old behavior compared it against the full-N window and flagged a
+        spurious >20% "regression".
+        """
+        from repro.experiments import perf
+
+        path = str(tmp_path / "BENCH_history.jsonl")
+        for eps in (1000.0, 980.0, 1020.0, 1000.0):
+            perf.append_bench_history(
+                "s", {"eps": eps, "examples": 20000, "scale": "small"},
+                path=path,
+            )
+        perf.append_bench_history(
+            "s", {"eps": 50.0, "examples": 4000, "scale": "small"}, path=path
+        )
+        assert perf.check_history_trend("s", "eps", path=path) is None
+        # Same for a scale change at the same example count.
+        perf.append_bench_history(
+            "s", {"eps": 50.0, "examples": 20000, "scale": "tiny"}, path=path
+        )
+        assert perf.check_history_trend("s", "eps", path=path) is None
+        # A genuine same-configuration regression still flags, with the
+        # configuration echoed in the diagnostic.
+        perf.append_bench_history(
+            "s", {"eps": 700.0, "examples": 20000, "scale": "small"},
+            path=path,
+        )
+        flag = perf.check_history_trend("s", "eps", path=path)
+        assert flag is not None
+        assert flag["trailing_median"] == pytest.approx(1000.0)
+        assert flag["config"] == {"examples": 20000, "scale": "small"}
+
+    def test_config_keying_ignores_absent_fields(self, tmp_path):
+        """Sections that never record scale/examples keep one series."""
+        from repro.experiments import perf
+
+        path = str(tmp_path / "BENCH_history.jsonl")
+        for eps in (100.0, 98.0, 102.0, 100.0):
+            perf.append_bench_history("s", {"eps": eps}, path=path)
+        perf.append_bench_history("s", {"eps": 70.0}, path=path)
+        flag = perf.check_history_trend("s", "eps", path=path)
+        assert flag is not None
+        assert flag["config"] == {}

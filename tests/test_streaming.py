@@ -61,6 +61,46 @@ class TestGauge:
         with pytest.raises(ValueError):
             gauge.subtract(1)
 
+    def test_concurrent_updates_never_lose_counts(self):
+        """Concurrency regression test for the ingest/consumer race.
+
+        The pipeline raises the gauge from the ingest thread and lowers
+        it from the consumer thread; an unlocked read-modify-write would
+        drop updates and report a bogus ``current``/``peak``. Hammer the
+        gauge from both sides and check the invariants exactly.
+        """
+        gauge = Gauge()
+        n, workers = 20_000, 4
+        start = threading.Barrier(2 * workers)
+
+        def add_side():
+            start.wait()
+            for _ in range(n):
+                gauge.add(1)
+
+        def subtract_side():
+            start.wait()
+            done = 0
+            while done < n:
+                try:
+                    gauge.subtract(1)
+                except ValueError:
+                    continue  # momentarily empty; the adds catch up
+                done += 1
+
+        threads = [
+            threading.Thread(target=target)
+            for target in [add_side] * workers + [subtract_side] * workers
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every add was matched by exactly one subtract: a lost update
+        # on either side leaves current != 0 (or tripped underflow).
+        assert gauge.current == 0
+        assert 1 <= gauge.peak <= workers * n
+
 
 # ----------------------------------------------------------------------
 # sources
