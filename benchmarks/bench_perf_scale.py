@@ -29,6 +29,7 @@ from repro.dfs.filesystem import DistributedFileSystem
 from repro.experiments import perf
 from repro.experiments.harness import get_content_experiment
 from repro.lf.applier import LFApplier, stage_examples
+from repro.parallel import default_workers
 
 from benchmarks.conftest import emit
 
@@ -37,6 +38,17 @@ BENCH_N = int(os.environ.get("REPRO_BENCH_N", "20000"))
 
 #: Minimum batched/per-example speedup enforced at the full 20k regime.
 SPEEDUP_FLOOR = 3.0
+
+#: Worker count for the process-pool gate (``REPRO_WORKERS`` overrides;
+#: clamped to >= 2 — one worker measures nothing but pool overhead and
+#: the comparison row would not even carry the parallel fields).
+WORKERS = max(2, default_workers(4))
+
+#: Minimum parallel/serial-batched speedup, enforced only where it is
+#: physically possible: the full n >= 20k regime on a machine exposing
+#: at least ``WORKERS`` CPUs (same policy as the hosted-runner carve-out
+#: for the 3x floor — byte-identity is asserted unconditionally).
+PARALLEL_SPEEDUP_FLOOR = 1.8
 
 
 def test_scale_extrapolation(benchmark, scale):
@@ -86,6 +98,64 @@ def test_batched_vs_per_example(benchmark, scale):
     else:
         # Smoke regime: overheads dominate tiny pools; require parity.
         assert row["speedup"] > 0.8
+
+
+def test_parallel_vs_serial_batched(benchmark, scale):
+    """The process-pool gate: workers shard blocks, votes stay bit-exact.
+
+    Byte-identity (asserted inside ``run_batch_throughput``) holds at
+    every scale and worker count; the 1.8x throughput floor binds only
+    at n >= 20k on hardware that actually has ``WORKERS`` CPUs.
+    """
+    result = benchmark.pedantic(
+        lambda: perf.run_batch_throughput(
+            scale=scale, n_examples=BENCH_N, workers=WORKERS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    row = result.rows[0]
+    path = perf.update_bench_json("parallel_throughput", {"scale": scale, **row})
+    perf.append_bench_history("parallel_throughput", {"scale": scale, **row})
+    print(f"[bench json updated: {path}]")
+    flag = perf.check_history_trend(
+        "parallel_throughput",
+        "parallel_examples_per_second",
+        match={
+            "scale": scale,
+            "examples": row["examples"],
+            "workers": row["workers"],
+        },
+    )
+    if flag is not None:
+        message = (
+            f"TREND REGRESSION: parallel throughput {flag['latest']:,.0f} is "
+            f"{100 * (1 - flag['ratio']):.0f}% below the trailing median "
+            f"{flag['trailing_median']:,.0f} (window {flag['window']})"
+        )
+        print(f"[{message}]")
+        if os.environ.get("REPRO_ENFORCE_TREND") == "1":
+            raise AssertionError(message)
+    assert row["parallel_votes_identical"], (
+        "parallel labeling diverged from the serial batched path"
+    )
+    cpus = os.cpu_count() or 1
+    if row["examples"] >= 20_000 and cpus >= row["workers"]:
+        assert row["parallel_speedup"] >= PARALLEL_SPEEDUP_FLOOR, (
+            f"parallel engine regressed: {row['parallel_speedup']:.2f}x < "
+            f"{PARALLEL_SPEEDUP_FLOOR}x with {row['workers']} workers at "
+            f"n={row['examples']}"
+        )
+    else:
+        # Smoke regime (small N or fewer CPUs than workers): the pool
+        # cannot beat serial, but it must stay within sane overhead.
+        print(
+            f"[parallel floor not binding: n={row['examples']}, "
+            f"{cpus} CPUs for {row['workers']} workers — "
+            f"measured {row['parallel_speedup']:.2f}x]"
+        )
+        assert row["parallel_speedup"] > 0.2
 
 
 def test_mapreduce_labeling_throughput(benchmark, scale):

@@ -34,8 +34,10 @@ import os
 from repro.experiments import perf
 from repro.experiments.streaming_eval import (
     run_crash_recovery,
+    run_multi_consumer_eval,
     run_streaming_eval,
 )
+from repro.parallel import default_workers
 
 from benchmarks.conftest import emit
 
@@ -44,6 +46,16 @@ BENCH_N = int(os.environ.get("REPRO_BENCH_N", "20000"))
 
 #: Minimum streaming/offline throughput ratio enforced at full scale.
 THROUGHPUT_FLOOR = 0.5
+
+#: Worker count for the multi-consumer gate (``REPRO_WORKERS`` overrides;
+#: clamped to >= 2 — a one-worker "multi-consumer" arm is the single
+#: consumer compared against itself).
+WORKERS = max(2, default_workers(4))
+
+#: Minimum multi-consumer/single-consumer speedup; binds only at
+#: n >= 20k on machines exposing at least ``WORKERS`` CPUs (equivalence
+#: is asserted everywhere, like the other streaming gates).
+MULTI_CONSUMER_FLOOR = 1.5
 
 #: Minimum durable-streaming/offline ratio (vote + label sinks and
 #: checkpoint manifests enabled) enforced at full scale.
@@ -114,6 +126,74 @@ def test_streaming_vs_offline(benchmark, scale):
     # with a meaningful fraction of the labeling-only stream.
     assert row["learning_examples_per_second"] > 0
     assert 0.0 <= row["stream_f1"] <= 1.0
+
+
+def test_multi_consumer_vs_single(benchmark, scale):
+    """The multi-consumer gate: N labeling workers, identical bytes.
+
+    Votes, durable sink shards, and posteriors must match the
+    single-consumer arm exactly at every scale and worker count; the
+    1.5x speedup floor binds only where the hardware can deliver it.
+    """
+    result = benchmark.pedantic(
+        lambda: run_multi_consumer_eval(
+            scale=scale, n_examples=BENCH_N, workers=WORKERS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    row = result.rows[0]
+    perf.update_bench_json(
+        "streaming_multi_consumer", {"scale": scale, **row}
+    )
+    perf.append_bench_history(
+        "streaming_multi_consumer", {"scale": scale, **row}
+    )
+    _trend_gate(
+        "streaming_multi_consumer",
+        "multi_examples_per_second",
+        {
+            "scale": scale,
+            "examples": row["examples"],
+            "workers": row["workers"],
+        },
+    )
+
+    # Equivalence and the residency bound hold at every scale.
+    assert row["votes_identical"], (
+        "multi-consumer votes diverged from the single-consumer arm"
+    )
+    assert row["sinks_identical"], (
+        "multi-consumer sink shards diverged from the single-consumer arm"
+    )
+    assert row["max_proba_diff"] <= PROBA_TOLERANCE, (
+        f"multi-consumer posteriors off by {row['max_proba_diff']:.2e} "
+        f"(tolerance {PROBA_TOLERANCE:.0e})"
+    )
+    assert row["peak_resident_records"] <= row["max_resident_records"], (
+        f"multi-consumer pipeline held {row['peak_resident_records']} "
+        f"records, over the bound of {row['max_resident_records']}"
+    )
+
+    cpus = os.cpu_count() or 1
+    if row["examples"] >= 20_000 and cpus >= row["workers"]:
+        assert row["speedup"] >= MULTI_CONSUMER_FLOOR, (
+            f"multi-consumer streaming regressed: {row['speedup']:.2f}x < "
+            f"{MULTI_CONSUMER_FLOOR}x single-consumer with "
+            f"{row['workers']} workers at n={row['examples']}"
+        )
+    else:
+        # Smoke regime: fewer CPUs than workers (or a tiny stream) means
+        # the pool pays the full codec + IPC tax with zero parallel
+        # compute; only sanity is required (matching the other streaming
+        # smoke floors).
+        print(
+            f"[multi-consumer floor not binding: n={row['examples']}, "
+            f"{cpus} CPUs for {row['workers']} workers — "
+            f"measured {row['speedup']:.2f}x]"
+        )
+        assert row["speedup"] > 0.1
 
 
 def test_checkpointed_crash_recovery(benchmark, scale):

@@ -341,6 +341,16 @@ class DFSReadHandle:
     def tell(self) -> int:
         return self._offset
 
+    def seek(self, offset: int) -> None:
+        """Reposition the cursor (absolute). Used by resume cursors to
+        skip straight past already-consumed records; DFS files are
+        immutable, so a stored offset stays valid forever."""
+        if offset < 0:
+            raise DFSError(f"seek offset must be >= 0, got {offset}")
+        if self._closed:
+            raise DFSError(f"seek on closed handle for {self.path}")
+        self._offset = offset
+
     @property
     def remaining(self) -> int:
         return max(0, self.size - self._offset)

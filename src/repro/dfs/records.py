@@ -35,6 +35,7 @@ __all__ = [
     "write_records",
     "read_records",
     "stream_records",
+    "stream_records_with_offsets",
     "iter_record_blobs",
     "iter_record_blocks",
     "encode_ndarray",
@@ -175,16 +176,23 @@ class RecordWriter:
             self.abandon()
 
 
-def stream_records(
+def stream_records_with_offsets(
     handle, chunk_size: int = DEFAULT_READ_CHUNK
-) -> Iterator[dict[str, Any]]:
-    """Yield payloads from a sequential read handle, verifying CRCs.
+) -> Iterator[tuple[dict[str, Any], int]]:
+    """Yield ``(payload, end_offset)`` from a sequential read handle.
 
-    Incremental counterpart of :func:`decode_records`: bytes are pulled
-    ``chunk_size`` at a time and the parse buffer is trimmed after every
-    record, so peak memory is one chunk plus one in-flight record no
-    matter how large the shard is. The record sequence (and every
-    corruption diagnostic) is identical to whole-blob decoding.
+    ``end_offset`` is the absolute file offset one byte past the record
+    just yielded — i.e. where the *next* record's header starts. This is
+    the primitive behind source-side resume cursors: a reader that
+    ``seek``s a handle to a previously reported ``end_offset`` decodes
+    exactly the remaining records, no replay. Decoding starts at the
+    handle's current position, so a seeked handle works transparently.
+
+    Bytes are pulled ``chunk_size`` at a time and the parse buffer is
+    trimmed after every record, so peak memory is one chunk plus one
+    in-flight record no matter how large the shard is. The record
+    sequence (and every corruption diagnostic) is identical to
+    whole-blob decoding.
     """
     if chunk_size < _HEADER.size:
         raise ValueError(
@@ -192,7 +200,7 @@ def stream_records(
         )
     total = handle.size
     buffer = bytearray()
-    consumed = 0  # absolute offset of buffer[0] within the file
+    consumed = handle.tell()  # absolute offset of buffer[0] within the file
 
     def _fill(needed: int) -> bool:
         """Grow the buffer to ``needed`` bytes; False at clean EOF."""
@@ -226,7 +234,20 @@ def stream_records(
             raise RecordCorruption(
                 f"CRC mismatch at offset {offset + _HEADER.size}"
             )
-        yield json.loads(body.decode("utf-8"))
+        yield json.loads(body.decode("utf-8")), consumed
+
+
+def stream_records(
+    handle, chunk_size: int = DEFAULT_READ_CHUNK
+) -> Iterator[dict[str, Any]]:
+    """Yield payloads from a sequential read handle, verifying CRCs.
+
+    Incremental counterpart of :func:`decode_records`; see
+    :func:`stream_records_with_offsets` for the offset-reporting variant
+    the streaming resume cursor is built on.
+    """
+    for payload, _ in stream_records_with_offsets(handle, chunk_size):
+        yield payload
 
 
 class RecordReader:

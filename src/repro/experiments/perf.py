@@ -119,9 +119,9 @@ def append_bench_history(
 #: History fields that define a benchmark *configuration*. Entries whose
 #: values differ on any of these never share a trend window: comparing a
 #: ``REPRO_BENCH_N=4000`` smoke run against 20k-example history (or a
-#: ``REPRO_SCALE`` change) flags spurious >20% "regressions" that are
-#: really workload changes.
-TREND_CONFIG_KEYS = ("scale", "examples")
+#: ``REPRO_SCALE`` / ``REPRO_WORKERS`` change) flags spurious >20%
+#: "regressions" that are really workload changes.
+TREND_CONFIG_KEYS = ("scale", "examples", "workers")
 
 
 def check_history_trend(
@@ -334,6 +334,7 @@ def run_batch_throughput(
     seed: int = DEFAULT_SEED,
     n_examples: int = 20_000,
     rounds: int = 2,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Batched vs per-example in-memory labeling throughput.
 
@@ -342,6 +343,12 @@ def run_batch_throughput(
     are identical, and reports examples/second (best of ``rounds``, on
     freshly cloned examples each round so tokenization memos never
     carry over) plus the generative-model fit time.
+
+    ``workers > 1`` additionally measures the process-pool parallel
+    path (one warmed :class:`repro.parallel.ParallelLabelExecutor`
+    reused across rounds), asserts its matrix is byte-identical to the
+    serial batched run, and reports the parallel/serial speedup — the
+    number the parallel bench gate enforces.
     """
     exp = get_content_experiment("product", scale, seed)
     pool = exp.dataset.unlabeled
@@ -353,13 +360,13 @@ def run_batch_throughput(
     apply_lfs_in_memory(lfs, _clone_examples(pool[:256]), batched=True)
     apply_lfs_in_memory(lfs, _clone_examples(pool[:256]), batched=False)
 
-    def best_rate(batched: bool) -> tuple[float, "np.ndarray"]:
+    def best_rate(**kwargs) -> tuple[float, "np.ndarray"]:
         best = 0.0
         matrix = None
         for _ in range(max(1, rounds)):
             examples = _clone_examples(pool[:n])
             start = time.perf_counter()
-            L = apply_lfs_in_memory(lfs, examples, batched=batched)
+            L = apply_lfs_in_memory(lfs, examples, **kwargs)
             wall = time.perf_counter() - start
             best = max(best, n / wall)
             matrix = L.matrix
@@ -374,6 +381,27 @@ def run_batch_throughput(
         )
     speedup = batched_eps / max(per_example_eps, 1e-9)
 
+    parallel_eps = None
+    parallel_speedup = None
+    parallel_identical = None
+    if workers > 1:
+        from repro.experiments.harness import content_lf_suite_spec
+        from repro.parallel import ParallelLabelExecutor
+
+        spec = content_lf_suite_spec("product", scale, seed)
+        with ParallelLabelExecutor(spec, workers) as executor:
+            # Pool construction pre-warms every worker's suite; one
+            # labeled block on top settles allocator/token-memo state
+            # before timing.
+            apply_lfs_in_memory(
+                lfs, _clone_examples(pool[:256]), executor=executor
+            )
+            parallel_eps, L_parallel = best_rate(executor=executor)
+        # Report the measured truth and let the bench gate enforce it —
+        # a hardcoded True here would make that assertion tautological.
+        parallel_identical = bool(np.array_equal(L_parallel, L_batched))
+        parallel_speedup = parallel_eps / max(batched_eps, 1e-9)
+
     start = time.perf_counter()
     model = SamplingFreeLabelModel(LabelModelConfig(seed=seed))
     model.fit(L_batched)
@@ -386,18 +414,34 @@ def run_batch_throughput(
         f"{'batched path':<32} {batched_eps:>12,.0f} examples/s",
         f"{'per-example path':<32} {per_example_eps:>12,.0f} examples/s",
         f"{'speedup':<32} {speedup:>12.2f}x",
+    ]
+    if parallel_eps is not None:
+        lines += [
+            f"{'parallel path (%d workers)' % workers:<32} "
+            f"{parallel_eps:>12,.0f} examples/s",
+            f"{'parallel / serial batched':<32} "
+            f"{parallel_speedup:>12.2f}x (votes byte-identical: "
+            f"{parallel_identical}, {os.cpu_count()} CPUs visible)",
+        ]
+    lines.append(
         f"{'label model fit':<32} {fit_seconds:>11.2f}s "
-        f"({L_batched.shape[0]:,} x {L_batched.shape[1]})",
-    ]
-    rows = [
-        {
-            "examples": n,
-            "lfs": len(lfs),
-            "rounds": rounds,
-            "batched_examples_per_second": batched_eps,
-            "per_example_examples_per_second": per_example_eps,
-            "speedup": speedup,
-            "label_model_fit_seconds": fit_seconds,
-        }
-    ]
-    return ExperimentResult("perf_batch_throughput", "\n".join(lines), rows)
+        f"({L_batched.shape[0]:,} x {L_batched.shape[1]})"
+    )
+    row = {
+        "examples": n,
+        "lfs": len(lfs),
+        "rounds": rounds,
+        "batched_examples_per_second": batched_eps,
+        "per_example_examples_per_second": per_example_eps,
+        "speedup": speedup,
+        "label_model_fit_seconds": fit_seconds,
+    }
+    if parallel_eps is not None:
+        row.update(
+            workers=workers,
+            cpu_count=os.cpu_count(),
+            parallel_examples_per_second=parallel_eps,
+            parallel_speedup=parallel_speedup,
+            parallel_votes_identical=parallel_identical,
+        )
+    return ExperimentResult("perf_batch_throughput", "\n".join(lines), [row])

@@ -28,6 +28,7 @@ gates and feeds the rows into ``BENCH_perf.json`` / the trend history.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -55,7 +56,12 @@ from repro.streaming import (
 )
 from repro.types import Example
 
-__all__ = ["run_streaming_eval", "run_crash_recovery", "DEFAULT_MICRO_BATCH"]
+__all__ = [
+    "run_streaming_eval",
+    "run_crash_recovery",
+    "run_multi_consumer_eval",
+    "DEFAULT_MICRO_BATCH",
+]
 
 #: Default micro-batch size: big enough that the fused executor and
 #: NumPy kernels dominate dispatch, small enough that two resident
@@ -275,6 +281,137 @@ def run_streaming_eval(
     return ExperimentResult("streaming_eval", "\n".join(lines), rows)
 
 
+def run_multi_consumer_eval(
+    scale: str | None = None,
+    seed: int = DEFAULT_SEED,
+    n_examples: int = 20_000,
+    batch_size: int = DEFAULT_MICRO_BATCH,
+    num_shards: int = 8,
+    workers: int = 4,
+) -> ExperimentResult:
+    """Multi-consumer vs single-consumer streaming over the same shards.
+
+    Both arms run the full labeling stream — chunked shard decode,
+    micro-batch labeling, a durable :class:`VoteSink`, and an online
+    label model — over identical staged shards. The single-consumer arm
+    labels on the caller's thread; the multi-consumer arm fans labeling
+    out to ``workers`` processes behind the same admission-controlled
+    ingest, with sinks still consuming finalized batches strictly in
+    order. The equivalence axes are absolute: votes, durable sink shard
+    bytes, and post-refit posteriors must match exactly; throughput is
+    the axis the bench gate conditions on hardware.
+    """
+    from repro.experiments.harness import content_lf_suite_spec
+    from repro.streaming import VoteSink
+
+    exp = get_content_experiment("product", scale, seed)
+    pool = exp.dataset.unlabeled
+    n = min(n_examples, len(pool))
+    lfs = exp.lfs
+    lf_names = [lf.name for lf in lfs]
+
+    dfs = DistributedFileSystem()
+    shard_paths = stage_examples(
+        dfs, pool[:n], "/multi/examples", num_shards=num_shards
+    )
+
+    def run_arm(root: str, arm_workers: int):
+        online = OnlineLabelModel(
+            OnlineLabelModelConfig(base=LabelModelConfig(seed=seed), seed=seed)
+        )
+        pipeline = MicroBatchPipeline(
+            lfs,
+            batch_size=batch_size,
+            # The permit pool must cover the worker fan-out or the pool
+            # starves; single-consumer keeps the standard 2-batch bound.
+            max_resident_batches=2 if arm_workers == 1 else arm_workers + 2,
+            on_batch=lambda _seq, _examples, votes: online.observe(votes),
+            sinks=[VoteSink(dfs, root, lf_names)],
+            collect_votes=True,
+            workers=arm_workers,
+            suite_spec=(
+                None
+                if arm_workers == 1
+                else content_lf_suite_spec("product", scale, seed)
+            ),
+        )
+        report = pipeline.run(RecordStreamSource(dfs, shard_paths))
+        return report, online
+
+    single_report, single_online = run_arm("/multi/single", 1)
+    multi_report, multi_online = run_arm("/multi/parallel", workers)
+
+    votes_identical = bool(
+        single_report.label_matrix.example_ids
+        == multi_report.label_matrix.example_ids
+        and np.array_equal(
+            single_report.label_matrix.matrix,
+            multi_report.label_matrix.matrix,
+        )
+    )
+    single_shards = {
+        path[len("/multi/single"):]: dfs.read_file(path)
+        for path in dfs.list("/multi/single")
+    }
+    multi_shards = {
+        path[len("/multi/parallel"):]: dfs.read_file(path)
+        for path in dfs.list("/multi/parallel")
+    }
+    sinks_identical = single_shards == multi_shards
+
+    L = single_report.label_matrix.matrix
+    max_proba_diff = float(
+        np.max(
+            np.abs(
+                single_online.refit().predict_proba(L)
+                - multi_online.refit().predict_proba(L)
+            )
+        )
+        if len(L)
+        else 0.0
+    )
+
+    single_eps = single_report.examples_per_second
+    multi_eps = multi_report.examples_per_second
+    speedup = multi_eps / single_eps if single_eps > 0 else 0.0
+
+    lines = [
+        "Multi-consumer streaming: process-pool labeling workers vs one "
+        f"consumer ({n:,} examples, {len(lfs)} LFs, micro-batch "
+        f"{batch_size}, {workers} workers, {os.cpu_count()} CPUs visible)",
+        "",
+        f"{'single consumer':<34} {single_eps:>12,.0f} examples/s",
+        f"{'multi-consumer (%d workers)' % workers:<34} "
+        f"{multi_eps:>12,.0f} examples/s",
+        f"{'multi / single':<34} {speedup:>12.2f}x",
+        f"{'peak resident records (multi)':<34} "
+        f"{multi_report.peak_resident_records:>12,} "
+        f"(bound: {multi_report.max_resident_records:,})",
+        f"{'votes identical':<34} {str(votes_identical):>12}",
+        f"{'sink shards byte-identical':<34} {str(sinks_identical):>12}",
+        f"{'posterior gap after final refit':<34} {max_proba_diff:>12.2e}",
+    ]
+    rows = [
+        {
+            "examples": n,
+            "lfs": len(lfs),
+            "micro_batch": batch_size,
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "single_examples_per_second": single_eps,
+            "multi_examples_per_second": multi_eps,
+            "speedup": speedup,
+            "peak_resident_records": multi_report.peak_resident_records,
+            "max_resident_records": multi_report.max_resident_records,
+            "backpressure_waits": multi_report.backpressure_waits,
+            "votes_identical": votes_identical,
+            "sinks_identical": sinks_identical,
+            "max_proba_diff": max_proba_diff,
+        }
+    ]
+    return ExperimentResult("streaming_multi_consumer", "\n".join(lines), rows)
+
+
 def run_crash_recovery(
     scale: str | None = None,
     seed: int = DEFAULT_SEED,
@@ -416,7 +553,8 @@ def run_crash_recovery(
         f"of {total_batches:,}",
         f"{'resumed from batch':<34} "
         f"{str(resumed_report.resumed_from_batch):>12} "
-        f"(skipped {resumed_report.skipped_examples:,} examples, "
+        f"(skipped {resumed_report.skipped_examples:,} examples via "
+        f"cursor seek, re-decoded {resumed_report.replayed_examples:,}, "
         f"deleted {len(resumed_report.orphan_shards_deleted)} orphan shards)",
         f"{'resumed bytes == uninterrupted':<34} {str(shards_identical):>12}",
         f"{'posterior gap after final refit':<34} {max_proba_diff:>12.2e}",
@@ -438,6 +576,7 @@ def run_crash_recovery(
             "crash_seen": crash_seen,
             "resumed_from_batch": resumed_report.resumed_from_batch,
             "skipped_examples": resumed_report.skipped_examples,
+            "replayed_examples": resumed_report.replayed_examples,
             "orphan_shards_deleted": len(
                 resumed_report.orphan_shards_deleted
             ),

@@ -21,6 +21,12 @@ instead of the per-``(example, LF)`` dictionary join the seed shipped
 with. ``batch_size=None`` (or ``batched=False`` in memory) selects the
 original per-example path, kept for equivalence tests and as the
 baseline the perf benchmarks measure against.
+
+The in-memory path also parallelizes across *processes*:
+``apply_lfs_in_memory(..., workers=N, suite_spec=...)`` shards example
+blocks over a :class:`repro.parallel.ParallelLabelExecutor` and
+reassembles votes in block order, bit-exact with the serial run (the
+GIL makes threads useless here; processes are the unit that scales).
 """
 
 from __future__ import annotations
@@ -365,6 +371,9 @@ def apply_lfs_in_memory(
     examples: Sequence[Example],
     batched: bool = True,
     batch_size: int = DEFAULT_MEMORY_BATCH,
+    workers: int = 1,
+    suite_spec=None,
+    executor=None,
 ) -> LabelMatrix:
     """Fast path: vote on in-memory examples, no DFS/MapReduce.
 
@@ -376,14 +385,51 @@ def apply_lfs_in_memory(
     :meth:`~repro.lf.base.AbstractLabelingFunction.label_batch` in
     ``batch_size`` blocks; ``batched=False`` is the seed's per-example
     loop, kept as the baseline the perf suite compares against.
+
+    ``workers > 1`` shards example blocks across a process pool
+    (:class:`repro.parallel.ParallelLabelExecutor`): pass ``suite_spec``
+    (a picklable :class:`repro.parallel.LFSuiteSpec` that rebuilds
+    ``lfs`` in each worker) or a live ``executor`` to reuse a warmed
+    pool. The matrix is byte-identical to the serial batched path at
+    every worker count — the equivalence suite asserts it.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     examples = list(examples)
     n, m = len(examples), len(lfs)
     matrix = np.zeros((n, m), dtype=np.int8)
 
-    if batched:
+    parallel = (workers > 1 or executor is not None) and n > 0
+    if parallel and not batched:
+        raise ValueError("workers > 1 requires the batched path")
+    if parallel:
+        from repro.parallel import ParallelLabelExecutor, parallel_block_size
+
+        pool_workers = executor.workers if executor is not None else workers
+        block = parallel_block_size(n, pool_workers, batch_size)
+        owned = executor is None
+        if owned:
+            if suite_spec is None:
+                raise ValueError(
+                    "workers > 1 needs a suite_spec (LFs are rebuilt "
+                    "inside each worker process) or a live executor"
+                )
+            executor = ParallelLabelExecutor(suite_spec, workers)
+        try:
+            votes = executor.label_examples(examples, block)
+        finally:
+            if owned:
+                executor.close()
+        if votes.shape != (n, m):
+            raise ValueError(
+                f"worker suite produced votes of shape {votes.shape}; "
+                f"this run expects {(n, m)} — the suite_spec must "
+                "rebuild the same LF suite"
+            )
+        matrix = votes
+    elif batched:
         # Keyword-style LFs carry a declarative TokenMatchSpec; fuse them
         # so each example is tokenized and index-probed once for the
         # whole group instead of once per LF. The same block kernel

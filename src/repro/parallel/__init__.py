@@ -1,0 +1,52 @@
+"""Process-pool parallel labeling.
+
+Single-process Python caps both hot paths: the vectorized in-memory
+applier (PR 1) and the micro-batch streaming pipeline (PRs 2-3) label on
+exactly one thread, and the GIL keeps LF suites CPU-bound there no
+matter how many threads the simulator spreads map tasks over. This
+package shards *example blocks* across worker processes instead — the
+paper's actual deployment shape, where labeling functions run on
+"Google's distributed compute environment" as many independent workers
+over record shards.
+
+The design keeps the repository's core invariant — byte identity with
+the serial path — by construction:
+
+* workers never receive live Python objects: the LF suite is rebuilt in
+  each worker from a picklable :class:`LFSuiteSpec` (an importable
+  factory reference), and examples round-trip through the existing DFS
+  record codec (:func:`encode_example_block` /
+  :func:`decode_example_block`), exactly the bytes a staged shard would
+  hold;
+* every block carries a sequence number and the parent reassembles
+  results strictly in sequence order, so votes, sink shards, and
+  posteriors are bit-exact with a serial run at any worker count;
+* a worker crash is retried on a fresh process up to a bounded budget
+  and surfaces as :class:`repro.mapreduce.runner.WorkerFailure` when
+  exhausted — the same failure contract as the MapReduce engine.
+
+Consumers: ``repro.lf.applier.apply_lfs_in_memory(workers=N)`` and
+``repro.streaming.pipeline.MicroBatchPipeline(workers=N)``.
+"""
+
+from repro.parallel.executor import (
+    DEFAULT_MAX_RETRIES,
+    ParallelLabelExecutor,
+    default_workers,
+    parallel_block_size,
+)
+from repro.parallel.spec import (
+    LFSuiteSpec,
+    decode_example_block,
+    encode_example_block,
+)
+
+__all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "LFSuiteSpec",
+    "ParallelLabelExecutor",
+    "decode_example_block",
+    "default_workers",
+    "encode_example_block",
+    "parallel_block_size",
+]

@@ -1,0 +1,503 @@
+"""The shared process-pool labeling executor.
+
+One :class:`ParallelLabelExecutor` serves both hot paths:
+
+* the offline applier submits example blocks and drains votes in block
+  order (:meth:`label_blocks` / :meth:`label_examples`);
+* the streaming pipeline submits micro-batches from its ingest thread
+  and drains completions from its consumer thread
+  (:meth:`submit` / :meth:`next_completed`), reassembling sink order
+  itself.
+
+Execution model
+---------------
+Each worker process runs :func:`_worker_init` once: rebuild the LF suite
+from the picklable :class:`~repro.parallel.spec.LFSuiteSpec`, start its
+offline resources, and precompute the fused-spec columns — the per-node
+setup hook of the MapReduce engine, translated to processes. Tasks are
+``(seq, record-codec block bytes)``; the worker decodes, runs the same
+:func:`repro.lf.applier.label_example_block` kernel as a serial run, and
+returns the ``int8`` vote block plus its labeling wall time.
+
+Ordering is restored by the caller-visible APIs: every task carries its
+sequence number, completions may arrive in any order, and
+:meth:`label_blocks` yields strictly by sequence — so a parallel run's
+votes are positionally identical to a serial run at any worker count.
+
+Failure model
+-------------
+A task that raises retries on the (respawned) pool; a worker that *dies*
+breaks the whole pool (`concurrent.futures` semantics), so the executor
+rebuilds the pool and resubmits every in-flight task, charging each one
+attempt. A task whose attempts exceed ``max_retries`` surfaces as
+:class:`repro.mapreduce.runner.WorkerFailure` — the same exception the
+MapReduce engine uses for exhausted map-task retries.
+
+The default start method is ``fork`` where available: workers inherit
+the parent's warmed module state (dataset caches, matcher tables), so
+pool spin-up is milliseconds. The spec-driven bootstrap keeps ``spawn``
+correct too, just slower on first build.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import queue as queue_module
+import threading
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+)
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import multiprocessing
+import numpy as np
+
+from repro.mapreduce.runner import WorkerFailure
+from repro.parallel.spec import (
+    LFSuiteSpec,
+    decode_example_block,
+    encode_example_block,
+)
+from repro.types import Example
+
+__all__ = [
+    "ParallelLabelExecutor",
+    "default_workers",
+    "parallel_block_size",
+    "DEFAULT_MAX_RETRIES",
+]
+
+#: Retry budget per block, matching ``MapReduceSpec.max_retries``.
+DEFAULT_MAX_RETRIES = 2
+
+#: Environment knob: default worker count for benches and examples.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers(fallback: int = 4) -> int:
+    """Worker count from ``REPRO_WORKERS``, else ``fallback``."""
+    value = os.environ.get(WORKERS_ENV)
+    if not value:
+        return fallback
+    workers = int(value)
+    if workers < 1:
+        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {workers}")
+    return workers
+
+
+def parallel_block_size(
+    n_examples: int, workers: int, batch_size: int
+) -> int:
+    """Deterministic block size for sharding ``n_examples`` over workers.
+
+    Aim for a few blocks per worker so encode (serial, parent side)
+    pipelines with labeling (parallel, worker side) and a straggler
+    block costs a fraction of the run, while never exceeding the
+    caller's ``batch_size``. Pure function of its arguments — the same
+    inputs always shard the same way.
+    """
+    if n_examples <= 0:
+        return batch_size
+    target = math.ceil(n_examples / max(1, workers * 4))
+    return max(1, min(batch_size, max(256, target)))
+
+
+# ----------------------------------------------------------------------
+# worker side (runs in the pool processes)
+# ----------------------------------------------------------------------
+_WORKER_LFS = None
+_WORKER_FUSED: list[int] | None = None
+
+
+def _worker_init(spec: LFSuiteSpec) -> None:
+    """Per-process bootstrap: rebuild the suite, start resources."""
+    global _WORKER_LFS, _WORKER_FUSED
+    from repro.lf.applier import fused_lf_columns, start_lf_resources
+
+    _WORKER_LFS = spec.build()
+    _WORKER_FUSED = fused_lf_columns(_WORKER_LFS)
+    start_lf_resources(_WORKER_LFS)
+
+
+def _worker_warm() -> bool:
+    """No-op task used to force worker processes into existence."""
+    return True
+
+
+def _worker_label(
+    seq: int, blob: bytes, kill: bool
+) -> tuple[int, tuple[int, int], bytes, int]:
+    """Label one block; returns ``(seq, shape, vote bytes, label_us)``.
+
+    ``kill=True`` is the crash-injection hook: the process exits without
+    cleanup, exactly what an OOM-killed or preempted worker looks like
+    to the parent (a broken pool, not an exception).
+    """
+    if kill:
+        os._exit(1)
+    from repro.lf.applier import label_example_block
+
+    examples = decode_example_block(blob)
+    start = time.perf_counter()
+    votes = label_example_block(_WORKER_LFS, examples, _WORKER_FUSED)
+    label_us = int((time.perf_counter() - start) * 1e6)
+    return seq, votes.shape, votes.tobytes(), label_us
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+@dataclass
+class _Inflight:
+    """One submitted block: payload kept for retries, examples for sinks."""
+
+    blob: bytes
+    examples: list[Example]
+    attempts: int = 0
+    future: Future | None = field(default=None, repr=False)
+
+
+class ParallelLabelExecutor:
+    """Labels example blocks on a pool of worker processes.
+
+    Thread contract: :meth:`submit` may run on one producer thread while
+    :meth:`next_completed` runs on one consumer thread (the streaming
+    wiring); internal state is lock-protected. The convenience drivers
+    :meth:`label_blocks` / :meth:`label_examples` do both from the
+    calling thread.
+    """
+
+    def __init__(
+        self,
+        suite_spec: LFSuiteSpec,
+        workers: int,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.suite_spec = suite_spec
+        self.workers = workers
+        self.max_retries = max_retries
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._mp_context = multiprocessing.get_context(start_method)
+        self._pool: ProcessPoolExecutor | None = None
+        #: Guards pool construction/teardown: submit (producer thread)
+        #: and retry (consumer thread) may race through a crash, and
+        #: exactly one of them must rebuild the pool.
+        self._pool_lock = threading.Lock()
+        self._pool_generation = 0
+        self._lock = threading.Lock()
+        self._inflight: dict[int, _Inflight] = {}
+        self._done_q: queue_module.Queue[tuple[int, Future]] = (
+            queue_module.Queue()
+        )
+        self._kill_plan: dict[int, int] = {}
+        self._pool_restarts = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ParallelLabelExecutor":
+        """Spin the pool up eagerly (otherwise lazy on first submit)."""
+        self._ensure_pool()
+        return self
+
+    def close(self) -> None:
+        self._closed = True
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def reset(self) -> int:
+        """Drop every in-flight block; returns how many were dropped.
+
+        After a failed run (sink exception, :class:`WorkerFailure`) a
+        *shared* executor still tracks the dead run's blocks, which
+        would collide with — or hang — the next run. Callers that own
+        their executor simply close it; callers reusing a warm pool
+        reset it between runs (the parallel pipeline does this for the
+        ``executor=`` case). Results of dropped blocks that are still
+        executing arrive later as stale notifications and are ignored.
+        """
+        with self._lock:
+            dropped = len(self._inflight)
+            self._inflight.clear()
+        while True:
+            try:
+                self._done_q.get_nowait()
+            except queue_module.Empty:
+                break
+        return dropped
+
+    def __enter__(self) -> "ParallelLabelExecutor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def pool_restarts(self) -> int:
+        """How many times a dead worker forced a pool rebuild."""
+        return self._pool_restarts
+
+    def pending(self) -> int:
+        """Blocks submitted but not yet drained by the caller."""
+        with self._lock:
+            return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    # failure injection (tests and benchmarks only)
+    # ------------------------------------------------------------------
+    def kill_worker_on(self, seq: int, attempts: int = 1) -> None:
+        """Make the first ``attempts`` executions of block ``seq`` die.
+
+        The worker process exits hard (``os._exit``) — the parent sees a
+        broken pool, rebuilds it, and retries, which is the failure
+        envelope the worker-crash tests assert byte-identity across.
+        """
+        self._kill_plan[seq] = attempts
+
+    # ------------------------------------------------------------------
+    # submission / completion (the streaming-facing API)
+    # ------------------------------------------------------------------
+    def submit(self, seq: int, examples: Sequence[Example]) -> None:
+        """Encode one block through the record codec and dispatch it."""
+        if self._closed:
+            raise RuntimeError("executor already closed")
+        examples = list(examples)
+        entry = _Inflight(
+            blob=encode_example_block(examples), examples=examples
+        )
+        with self._lock:
+            if seq in self._inflight:
+                raise ValueError(f"block {seq} already in flight")
+            self._inflight[seq] = entry
+        try:
+            self._dispatch(seq, entry)
+        except BaseException:
+            # Never leave a block registered with no future: nothing
+            # would ever complete it, so pending() could not drain and
+            # a consumer waiting on it would hang instead of seeing
+            # this error.
+            with self._lock:
+                self._inflight.pop(seq, None)
+            raise
+
+    def next_completed(
+        self, timeout: float | None = None
+    ) -> tuple[int, list[Example], np.ndarray, int]:
+        """Return any finished block: ``(seq, examples, votes, label_us)``.
+
+        Blocks until a completion arrives (``queue.Empty`` after
+        ``timeout``). Failed attempts are retried transparently;
+        exhausted budgets raise :class:`WorkerFailure`.
+        """
+        while True:
+            seq, future = self._done_q.get(timeout=timeout)
+            with self._lock:
+                entry = self._inflight.get(seq)
+            if entry is None or entry.future is not future:
+                continue  # stale notification from a superseded attempt
+            try:
+                error = future.exception()
+            except CancelledError as cancelled:
+                # A future caught mid-restart; treat like a crashed
+                # attempt and let the retry budget decide.
+                error = cancelled
+            if error is None:
+                _, shape, blob, label_us = future.result()
+                votes = (
+                    np.frombuffer(blob, dtype=np.int8).reshape(shape).copy()
+                )
+                with self._lock:
+                    del self._inflight[seq]
+                return seq, entry.examples, votes, label_us
+            entry.attempts += 1
+            if entry.attempts > self.max_retries:
+                raise WorkerFailure(
+                    f"parallel labeling block {seq} failed after "
+                    f"{entry.attempts} attempts"
+                ) from error
+            self._dispatch(seq, entry)
+
+    # ------------------------------------------------------------------
+    # convenience drivers (the offline-facing API)
+    # ------------------------------------------------------------------
+    def label_blocks(
+        self,
+        blocks: Iterable[tuple[int, Sequence[Example]]],
+        window: int | None = None,
+    ) -> Iterator[tuple[int, list[Example], np.ndarray]]:
+        """Label ``(seq, examples)`` blocks; yield in *submission* order.
+
+        At most ``window`` blocks are in flight at once (default
+        ``2 * workers + 2``), so encoding pipelines with labeling while
+        memory stays bounded. Sequence numbers must be unique; blocks
+        are emitted in exactly the order they were submitted regardless
+        of worker completion order (ascending seqs in = ascending seqs
+        out, which is how :meth:`label_examples` restores row order).
+        On any failure the executor's in-flight state is reset so a
+        warm pool can be reused for the next run.
+        """
+        if window is None:
+            window = 2 * self.workers + 2
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        pending_out: dict[int, tuple[list[Example], np.ndarray]] = {}
+        submitted: list[int] = []
+        next_out = 0  # index into ``submitted`` of the next block to emit
+        source = iter(blocks)
+        exhausted = False
+        try:
+            while True:
+                while not exhausted and self.pending() < window:
+                    item = next(source, None)
+                    if item is None:
+                        exhausted = True
+                        break
+                    seq, examples = item
+                    self.submit(seq, examples)
+                    submitted.append(seq)
+                if exhausted and not self.pending():
+                    break
+                seq, examples, votes, _ = self.next_completed()
+                pending_out[seq] = (examples, votes)
+                # Emit the longest ready prefix in submission order.
+                while (
+                    next_out < len(submitted)
+                    and submitted[next_out] in pending_out
+                ):
+                    head = submitted[next_out]
+                    examples, votes = pending_out.pop(head)
+                    next_out += 1
+                    yield head, examples, votes
+        except BaseException:
+            self.reset()
+            raise
+
+    def label_examples(
+        self,
+        examples: Sequence[Example],
+        block_size: int,
+    ) -> np.ndarray:
+        """Label a flat example list; returns the ``(n, m)`` int8 matrix.
+
+        The parallel counterpart of the serial block loop in
+        :func:`repro.lf.applier.apply_lfs_in_memory`: identical votes,
+        restored to input order via block offsets.
+        """
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        examples = list(examples)
+        n = len(examples)
+        offsets = list(range(0, n, block_size))
+
+        def blocks() -> Iterator[tuple[int, Sequence[Example]]]:
+            for seq, start in enumerate(offsets):
+                yield seq, examples[start:start + block_size]
+
+        if not offsets:
+            # Width is unknowable without a worker round-trip; callers
+            # handle the empty case with their own LF count.
+            return np.zeros((0, 0), dtype=np.int8)
+        parts: list[np.ndarray | None] = [None] * len(offsets)
+        for seq, _, votes in self.label_blocks(blocks()):
+            parts[seq] = votes
+        return np.vstack(parts)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> tuple[ProcessPoolExecutor, int]:
+        """The live pool plus its generation (for restart arbitration)."""
+        with self._pool_lock:
+            if self._closed:
+                # A resurrected pool would leak its workers: submit()
+                # refuses closed executors, so nothing could ever drain
+                # or shut it down.
+                raise RuntimeError("executor already closed")
+            if self._pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=self._mp_context,
+                    initializer=_worker_init,
+                    initargs=(self.suite_spec,),
+                )
+                # ProcessPoolExecutor forks workers lazily at submit
+                # time; force them ALL into existence now, while the
+                # creating thread is the only one running executor work
+                # — forking later, mid-run, from whichever thread
+                # happens to submit is exactly the fork-with-live-
+                # threads hazard start() promises to avoid (and cold
+                # workers would otherwise pay suite bootstrap inside
+                # the first timed/labeled blocks).
+                try:
+                    warm = [
+                        pool.submit(_worker_warm)
+                        for _ in range(self.workers)
+                    ]
+                    for future in warm:
+                        future.result()
+                except BaseException:
+                    # A failing initializer (unimportable spec, factory
+                    # error) breaks the pool during warm-up; tear it
+                    # down so the dispatch retry loop sees a clean
+                    # slate and can surface WorkerFailure.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    self._pool_generation += 1
+                    raise
+                self._pool = pool
+            return self._pool, self._pool_generation
+
+    def _restart_pool(self, generation: int) -> None:
+        """Replace the pool — but only if ``generation`` is still live.
+
+        Both the producer and consumer threads can observe the same
+        broken pool; the generation check makes the second observer a
+        no-op instead of tearing down the replacement the first one
+        just built (which would cancel freshly resubmitted work).
+        """
+        with self._pool_lock:
+            if generation != self._pool_generation:
+                return  # another thread already rebuilt this pool
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            self._pool_generation += 1
+            self._pool_restarts += 1
+
+    def _dispatch(self, seq: int, entry: _Inflight) -> None:
+        kill = entry.attempts < self._kill_plan.get(seq, 0)
+        future: Future | None = None
+        last_error: BaseException | None = None
+        for _ in range(2):
+            generation: int | None = None
+            try:
+                pool, generation = self._ensure_pool()
+                future = pool.submit(_worker_label, seq, entry.blob, kill)
+                break
+            except BrokenExecutor as error:
+                last_error = error
+                if generation is not None:
+                    self._restart_pool(generation)
+        if future is None:
+            raise WorkerFailure(
+                f"could not dispatch block {seq}: worker pool keeps dying"
+            ) from last_error
+        entry.future = future
+        future.add_done_callback(
+            lambda f, seq=seq: self._done_q.put((seq, f))
+        )

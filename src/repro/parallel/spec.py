@@ -1,0 +1,70 @@
+"""Picklable descriptions of what a labeling worker needs.
+
+Labeling functions are not picklable — they close over matcher lambdas,
+knowledge-graph translation closures, and lazily started model servers.
+What *is* picklable is the recipe that built them: an importable factory
+plus its arguments. :class:`LFSuiteSpec` carries that recipe across the
+process boundary and each worker rebuilds its own private suite from it,
+the in-process analogue of shipping the LF binary to a compute node.
+
+Examples cross the boundary the same way they cross the simulated
+distributed filesystem: framed through the record codec
+(:func:`repro.dfs.records.encode_record`), CRC and all. A parallel run
+therefore exercises exactly the serialization a staged shard would —
+if an example survives staging, it survives the worker round-trip, and
+the worker decodes the same bytes a fresh MapReduce task would read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Sequence
+
+from repro.dfs.records import decode_records, encode_record
+from repro.lf.base import AbstractLabelingFunction
+from repro.types import Example
+
+__all__ = ["LFSuiteSpec", "encode_example_block", "decode_example_block"]
+
+
+@dataclass(frozen=True)
+class LFSuiteSpec:
+    """An importable recipe for one LF suite: ``module:callable`` + args.
+
+    The factory must be addressable by name from a bare interpreter
+    (module-level function or classmethod path), and must be
+    deterministic: two processes building from the same spec must
+    produce suites that vote identically — that is the whole byte-parity
+    argument for parallel labeling. Keyword values must themselves be
+    picklable (strings, numbers, tuples).
+    """
+
+    factory: str
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if ":" not in self.factory:
+            raise ValueError(
+                f"factory must be 'module:callable', got {self.factory!r}"
+            )
+
+    def build(self) -> list[AbstractLabelingFunction]:
+        """Import the factory and construct the suite."""
+        module_name, _, attr_path = self.factory.partition(":")
+        target = import_module(module_name)
+        for part in attr_path.split("."):
+            target = getattr(target, part)
+        lfs = target(*self.args, **self.kwargs)
+        return list(lfs)
+
+
+def encode_example_block(examples: Sequence[Example]) -> bytes:
+    """Frame a block of examples with the DFS record codec."""
+    return b"".join(encode_record(e.to_record()) for e in examples)
+
+
+def decode_example_block(blob: bytes) -> list[Example]:
+    """Inverse of :func:`encode_example_block` (CRCs verified)."""
+    return [Example.from_record(record) for record in decode_records(blob)]

@@ -10,8 +10,9 @@ engine of PR 1 into that continuous pipeline:
 
 * :mod:`repro.streaming.sources` — incremental example sources: a
   bounded-memory reader over DFS record shards (records decode chunk by
-  chunk, never as whole-shard blobs) and an in-memory replay source for
-  tests and benchmarks;
+  chunk, never as whole-shard blobs) that also reports seekable
+  ``SourceCursor`` positions for O(1) resume, and an in-memory replay
+  source for tests and benchmarks;
 * :mod:`repro.streaming.pipeline` — :class:`MicroBatchPipeline`, a
   two-stage producer/consumer scheduler with bounded queues and
   admission-controlled backpressure (peak resident records is capped at
@@ -55,6 +56,7 @@ from repro.streaming.sources import (
     ExampleSource,
     MemorySource,
     RecordStreamSource,
+    SourceCursor,
     iter_example_batches,
 )
 
@@ -62,6 +64,7 @@ __all__ = [
     "ExampleSource",
     "MemorySource",
     "RecordStreamSource",
+    "SourceCursor",
     "iter_example_batches",
     "MicroBatchPipeline",
     "PipelineStats",

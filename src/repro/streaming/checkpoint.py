@@ -5,7 +5,9 @@ restartable production job: every finalized micro-batch's outputs are
 durable (:mod:`repro.streaming.sinks`), and a *checkpoint manifest*
 periodically snapshots everything else a resumed stream needs —
 
-* the last finalized batch id and the source cursor (examples consumed),
+* the last finalized batch id and the source cursor (examples consumed,
+  plus the seekable (shard, byte offset) position when the source
+  supports it),
 * the :class:`~repro.core.online_label_model.OnlineLabelModel`'s full
   mutable state: vote moments, the dictionary-encoded pattern log, the
   minibatch sampler's RNG state, and both step counters,
@@ -27,18 +29,23 @@ uninterrupted run. The mechanism:
 2. *orphan* shards newer than the manifest (finalized after the last
    checkpoint but before the crash) are deleted and re-derived — durable
    output is only ever trusted up to the manifest's batch;
-3. the source is replayed from the manifest's cursor and batch numbering
-   continues from the manifest's batch id, so shard names, batch
-   boundaries, RNG draws, and gradient steps all line up with the run
-   that never crashed.
+3. the source restarts from the manifest's cursor — cursor-capable
+   sources (:class:`repro.streaming.sources.RecordStreamSource`) *seek*
+   to the stored (shard, byte offset) position and decode only
+   unconsumed records, while plain iterables fall back to replaying and
+   discarding the consumed prefix — and batch numbering continues from
+   the manifest's batch id, so shard names, batch boundaries, RNG
+   draws, and gradient steps all line up with the run that never
+   crashed.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -49,6 +56,7 @@ from repro.discriminative.logistic import NoiseAwareLogisticRegression
 from repro.lf.base import AbstractLabelingFunction
 from repro.streaming.pipeline import MicroBatchPipeline, StreamReport
 from repro.streaming.sinks import LabelSink, VoteSink
+from repro.streaming.sources import SourceCursor
 from repro.types import Example
 
 __all__ = [
@@ -190,6 +198,60 @@ class CheckpointedRunReport:
     checkpoints_written: int
     orphan_shards_deleted: list[str] = field(default_factory=list)
     manifest_path: str | None = None
+    #: Examples decoded and *discarded* to reach the cursor. 0 when the
+    #: source supports cursor seek (the manifest stored a shard/offset
+    #: position); equals ``skipped_examples`` only on the legacy replay
+    #: path (plain iterables, or manifests written before cursors).
+    replayed_examples: int = 0
+
+
+class _CursorTracker:
+    """Records the source cursor at every micro-batch boundary.
+
+    Wraps the source's ``(example, cursor)`` stream; consumed on the
+    ingest thread, queried on the consumer thread when a manifest is
+    written (by then ingest has necessarily decoded past the boundary,
+    since the batch being checkpointed was fully decoded first).
+    Positions below the last written checkpoint are pruned, so the map
+    stays bounded by the pipeline's in-flight window.
+    """
+
+    def __init__(
+        self,
+        pairs: Iterable[tuple[Example, SourceCursor]],
+        batch_size: int,
+        base_count: int,
+    ) -> None:
+        self._pairs = pairs
+        self._batch_size = batch_size
+        self._base_count = base_count
+        self._lock = threading.Lock()
+        self._positions: dict[int, SourceCursor] = {}
+
+    def __iter__(self) -> Iterator[Example]:
+        count = self._base_count
+        last: SourceCursor | None = None
+        for example, cursor in self._pairs:
+            count += 1
+            last = cursor
+            if count % self._batch_size == 0:
+                with self._lock:
+                    self._positions[count] = cursor
+            yield example
+        # The trailing partial batch ends at EOF; record it so the final
+        # checkpoint can still carry a seekable position.
+        if last is not None and count % self._batch_size != 0:
+            with self._lock:
+                self._positions[count] = last
+
+    def position_for(self, count: int) -> SourceCursor | None:
+        with self._lock:
+            return self._positions.get(count)
+
+    def prune_below(self, count: int) -> None:
+        with self._lock:
+            for key in [k for k in self._positions if k < count]:
+                del self._positions[key]
 
 
 class _CheckpointSink:
@@ -232,6 +294,9 @@ class CheckpointedStream:
         end_model: NoiseAwareLogisticRegression | None = None,
         featurizer=None,
         end_model_epochs: int = 1,
+        workers: int = 1,
+        suite_spec=None,
+        executor=None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError(
@@ -252,6 +317,12 @@ class CheckpointedStream:
         self.end_model = end_model
         self.featurizer = featurizer
         self.end_model_epochs = end_model_epochs
+        #: Multi-consumer labeling (process pool); sinks and manifests
+        #: still finalize strictly in batch order, so durable bytes stay
+        #: identical to a single-consumer run.
+        self.workers = workers
+        self.suite_spec = suite_spec
+        self.executor = executor
         self.manager = CheckpointManager(dfs, self.root)
         self.online = OnlineLabelModel(self.online_config)
         # Per-run state, rebuilt by run().
@@ -260,6 +331,7 @@ class CheckpointedStream:
         self._last_checkpoint_seq = -1
         self._checkpoints_written = 0
         self._fail_after: int | None = None
+        self._tracker: _CursorTracker | None = None
 
     # ------------------------------------------------------------------
     # execution
@@ -336,10 +408,35 @@ class CheckpointedStream:
             on_batch=self._learn,
             sinks=sinks,
             first_batch_seq=last_durable + 1,
+            workers=self.workers,
+            suite_spec=self.suite_spec,
+            executor=self.executor,
         )
-        stream = iter(source)
-        if cursor:
-            stream = islice(stream, cursor, None)
+        # Source replay: seek when we can, replay-and-discard when we
+        # must. A cursor-capable source resumes at the manifest's
+        # (shard, byte offset) position and decodes O(1) work past it;
+        # plain iterables — and manifests written before source cursors
+        # existed — fall back to decoding and discarding the consumed
+        # prefix (the old O(n) behaviour, kept for compatibility).
+        replayed = 0
+        self._tracker = None
+        if hasattr(source, "iter_with_cursor"):
+            start = (
+                SourceCursor.from_meta(checkpoint.meta)
+                if checkpoint is not None
+                else None
+            )
+            pairs = source.iter_with_cursor(start)
+            if start is None and cursor:
+                pairs = islice(pairs, cursor, None)
+                replayed = cursor
+            self._tracker = _CursorTracker(pairs, self.batch_size, cursor)
+            stream: Iterable[Example] = iter(self._tracker)
+        else:
+            stream = iter(source)
+            if cursor:
+                stream = islice(stream, cursor, None)
+                replayed = cursor
         report = pipeline.run(stream)
 
         # Stream drained cleanly: pin the final state even when the last
@@ -355,6 +452,7 @@ class CheckpointedStream:
             checkpoints_written=self._checkpoints_written,
             orphan_shards_deleted=orphans,
             manifest_path=self.manager.latest_path(),
+            replayed_examples=replayed,
         )
 
     # ------------------------------------------------------------------
@@ -396,6 +494,16 @@ class CheckpointedStream:
             )
 
     def _write_checkpoint(self, seq: int) -> str:
+        meta = {
+            "batch_size": self.batch_size,
+            "checkpoint_every": self.checkpoint_every,
+            "lf_names": [lf.name for lf in self.lfs],
+        }
+        if self._tracker is not None:
+            position = self._tracker.position_for(self._cursor)
+            if position is not None:
+                meta.update(position.as_meta())
+            self._tracker.prune_below(self._cursor)
         path = self.manager.write(
             seq,
             self._cursor,
@@ -403,11 +511,7 @@ class CheckpointedStream:
             end_model_state=(
                 None if self.end_model is None else self.end_model.state_dict()
             ),
-            meta={
-                "batch_size": self.batch_size,
-                "checkpoint_every": self.checkpoint_every,
-                "lf_names": [lf.name for lf in self.lfs],
-            },
+            meta=meta,
         )
         self._last_checkpoint_seq = seq
         self._checkpoints_written += 1

@@ -2,32 +2,61 @@
 
 :class:`MicroBatchPipeline` converts an example source into a continuous
 labeling run: an ingest thread decodes examples and assembles
-micro-batches; the caller's thread executes the same block-labeling
-kernel the offline applier uses (:func:`repro.lf.applier.label_example_block`
-— fused token-match executor plus per-LF batch kernels), then hands the
-votes to a sink callback (online label model update, end-model training,
-vote persistence).
+micro-batches; labeling runs the same block-labeling kernel the offline
+applier uses (:func:`repro.lf.applier.label_example_block` — fused
+token-match executor plus per-LF batch kernels); finalized votes are
+handed to sink callbacks (online label model update, end-model training,
+vote persistence) strictly in batch order.
+
+Labeling has two execution modes:
+
+* **single-consumer** (default): the caller's thread labels each batch
+  as it leaves the handoff queue — one producer, one consumer, a FIFO
+  queue.
+* **multi-consumer** (``workers > 1``): the ingest thread dispatches
+  each decoded batch to a :class:`repro.parallel.ParallelLabelExecutor`
+  process pool; the caller's thread drains completions, restores batch
+  order by sequence number, and finalizes. Sinks and checkpoints still
+  observe batches strictly in order, so streamed votes, sink shards,
+  and posteriors stay bit-exact with a serial run at any worker count
+  (asserted by the equivalence suite).
 
 Flow control is admission-based, not just queue-based: the ingest stage
 must hold one *residency permit* per in-flight micro-batch before it may
 decode the batch's records, and the permit is only returned after the
 batch has been labeled and the sink has consumed it. With the default
 ``max_resident_batches=2`` the pipeline never holds more than two
-micro-batches of decoded records — one being labeled, one staged — no
-matter how fast the source is; a :class:`repro.mapreduce.counters.Gauge`
-tracks the actual high-water mark so benchmarks can assert the bound
-rather than trust it.
+micro-batches of decoded records no matter how fast the source is — and
+in multi-consumer mode the same permits bound the batches in flight
+*across all workers* (decoded, queued, labeling, or awaiting in-order
+finalization). A :class:`repro.mapreduce.counters.Gauge` tracks the
+actual high-water mark so benchmarks can assert the bound rather than
+trust it.
 
-Per-stage observability reuses the MapReduce counter machinery: counts
-("ingest/records", "label/votes", "ingest/backpressure_waits") and
-microsecond timings ("ingest/decode_us", "queue/wait_us", "label/us",
-"sink/us") land in one :class:`CounterSet`, summarized per stage by
-:class:`PipelineStats` on the report.
+Counter contract
+----------------
+Per-stage observability reuses the MapReduce counter machinery; one
+:class:`CounterSet` collects everything and :class:`PipelineStats`
+summarizes it per stage on the report. The keys every run produces are
+listed in :data:`COUNTER_CONTRACT` (enforced by a test):
 
-Ordering is deterministic: one producer, one consumer, a FIFO queue —
-micro-batches are labeled in source order, so streaming a dataset yields
-a label matrix vote-for-vote identical to the offline applier (asserted
-by the equivalence suite).
+* ``ingest/records``, ``ingest/batches``, ``ingest/decode_us`` — the
+  decode stage;
+* ``label/records``, ``label/batches``, ``label/votes``, ``label/us`` —
+  the labeling stage (in multi-consumer mode ``label/us`` sums
+  *worker-side* labeling time across processes, so it can exceed wall
+  time);
+* ``queue/wait_us`` — producer-to-consumer handoff latency (in
+  multi-consumer mode: dispatch-to-finalize latency, which includes
+  worker compute).
+
+Conditional keys (:data:`CONDITIONAL_COUNTER_KEYS`): backpressure stalls
+land in ``ingest/backpressure_waits`` / ``ingest/wait_us`` — *not* in
+``queue/wait_us``, which never measures backpressure — sink timing in
+``sink/us`` / ``sink/batches`` / ``sink/records`` (plus per-sink
+``sink/<name>/us|batches|records``), and multi-consumer runs add
+``ingest/encode_us`` for the record-codec framing of each dispatched
+batch.
 """
 
 from __future__ import annotations
@@ -51,12 +80,41 @@ from repro.mapreduce.counters import CounterSet, Gauge
 from repro.streaming.sources import iter_example_batches
 from repro.types import Example, LabelMatrix
 
-__all__ = ["MicroBatchPipeline", "PipelineStats", "StreamReport"]
+__all__ = [
+    "MicroBatchPipeline",
+    "PipelineStats",
+    "StreamReport",
+    "COUNTER_CONTRACT",
+    "CONDITIONAL_COUNTER_KEYS",
+]
 
 #: Sink callback: (batch_index, examples, votes) — runs on the consumer
 #: thread, in batch order, while the batch still holds its residency
 #: permit (the examples are guaranteed alive for the duration).
 BatchSink = Callable[[int, list[Example], np.ndarray], None]
+
+#: Counter keys every non-empty run records (see module docstring).
+COUNTER_CONTRACT = (
+    "ingest/records",
+    "ingest/batches",
+    "ingest/decode_us",
+    "label/records",
+    "label/batches",
+    "label/votes",
+    "label/us",
+    "queue/wait_us",
+)
+
+#: Keys recorded only when their condition occurs: backpressure stalls,
+#: a configured sink stage, or multi-consumer dispatch.
+CONDITIONAL_COUNTER_KEYS = (
+    "ingest/backpressure_waits",
+    "ingest/wait_us",
+    "ingest/encode_us",
+    "sink/us",
+    "sink/batches",
+    "sink/records",
+)
 
 
 @dataclass
@@ -65,6 +123,17 @@ class _Batch:
     examples: list[Example]
     created: float
     enqueued: float = 0.0
+
+
+@dataclass
+class _Tallies:
+    """Mutable per-run aggregates shared by both execution modes."""
+
+    batches_done: int = 0
+    examples_done: int = 0
+    votes_emitted: int = 0
+    latency_sum: float = 0.0
+    latency_max: float = 0.0
 
 
 @dataclass
@@ -78,8 +147,10 @@ class PipelineStats:
 
     @property
     def records_per_second(self) -> float:
+        # A stage that recorded no time reports 0.0 — never inf, which
+        # the report once produced for a sink stage that never ran.
         if self.seconds <= 0:
-            return float("inf") if self.records else 0.0
+            return 0.0
         return self.records / self.seconds
 
 
@@ -99,6 +170,7 @@ class StreamReport:
     max_batch_latency_seconds: float
     counters: dict[str, int] = field(default_factory=dict)
     label_matrix: LabelMatrix | None = None
+    workers: int = 1
 
     @property
     def examples_per_second(self) -> float:
@@ -107,7 +179,12 @@ class StreamReport:
         return self.examples / self.wall_seconds
 
     def stage(self, name: str) -> PipelineStats:
-        """Summarize one stage ("ingest", "label", "sink") from counters."""
+        """Summarize one stage ("ingest", "label", "sink") from counters.
+
+        Every stage reads its *own* record/batch counters — the sink
+        stage of a sink-less run reports zeros, not the ingest volume
+        (and never an infinite rate).
+        """
         time_key = {
             "ingest": "ingest/decode_us",
             "label": "label/us",
@@ -115,8 +192,8 @@ class StreamReport:
         }[name]
         return PipelineStats(
             name=name,
-            batches=self.counters.get(f"{name}/batches", self.batches),
-            records=self.counters.get("ingest/records", self.examples),
+            batches=self.counters.get(f"{name}/batches", 0),
+            records=self.counters.get(f"{name}/records", 0),
             seconds=self.counters.get(time_key, 0) / 1e6,
         )
 
@@ -136,6 +213,9 @@ class MicroBatchPipeline:
         collect_votes: bool = False,
         sinks: Sequence[BatchSink] | None = None,
         first_batch_seq: int = 0,
+        workers: int = 1,
+        suite_spec=None,
+        executor=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -146,6 +226,13 @@ class MicroBatchPipeline:
         if first_batch_seq < 0:
             raise ValueError(
                 f"first_batch_seq must be >= 0, got {first_batch_seq}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and suite_spec is None and executor is None:
+            raise ValueError(
+                "workers > 1 needs a suite_spec (LFs are rebuilt inside "
+                "each worker process) or a live executor"
             )
         self.lfs = list(lfs)
         self.batch_size = batch_size
@@ -162,6 +249,10 @@ class MicroBatchPipeline:
         #: Batch numbering offset — a resumed stream continues the
         #: uninterrupted run's sequence so sink shard names line up.
         self.first_batch_seq = first_batch_seq
+        #: Multi-consumer mode: >1 labels batches on a process pool.
+        self.workers = workers
+        self.suite_spec = suite_spec
+        self.executor = executor
 
     # ------------------------------------------------------------------
     # execution
@@ -169,9 +260,135 @@ class MicroBatchPipeline:
     def run(self, source: Iterable[Example]) -> StreamReport:
         """Drain the source through the pipeline; returns the report.
 
-        The ingest stage runs on its own thread; labeling and the sink
-        run on the calling thread, in batch order.
+        The ingest stage runs on its own thread. In single-consumer mode
+        labeling and the sinks run on the calling thread; in
+        multi-consumer mode labeling runs on the worker pool and the
+        calling thread reassembles, so sinks still see batch order.
         """
+        if self.workers > 1 or self.executor is not None:
+            return self._run_parallel(source)
+        return self._run_serial(source)
+
+    # ------------------------------------------------------------------
+    # shared pieces
+    # ------------------------------------------------------------------
+    def _counted(self, examples: Iterable[Example], resident: Gauge):
+        for example in examples:
+            resident.add(1)
+            yield example
+
+    def _acquire_permit(
+        self,
+        permits: threading.Semaphore,
+        counters: CounterSet,
+    ) -> None:
+        """Admission control, with backpressure stalls counted."""
+        if not permits.acquire(blocking=False):
+            counters.increment("ingest/backpressure_waits")
+            waited = time.perf_counter()
+            permits.acquire()
+            counters.increment(
+                "ingest/wait_us",
+                int((time.perf_counter() - waited) * 1e6),
+            )
+
+    def _finish_batch(
+        self,
+        batch: _Batch,
+        votes: np.ndarray,
+        counters: CounterSet,
+        resident: Gauge,
+        permits: threading.Semaphore,
+        tallies: _Tallies,
+        collected_votes: list[np.ndarray],
+        collected_ids: list[str],
+    ) -> None:
+        """Post-labeling stages, identical in both modes: counters,
+        ordered sinks, vote collection, latency, permit return."""
+        counters.increment("label/records", len(batch.examples))
+        batch_votes = int(np.count_nonzero(votes))
+        tallies.votes_emitted += batch_votes
+        counters.increment("label/votes", batch_votes)
+        if self.on_batch is not None or self.sinks:
+            if self.on_batch is not None:
+                sink_start = time.perf_counter()
+                self.on_batch(batch.seq, batch.examples, votes)
+                counters.increment(
+                    "sink/us",
+                    int((time.perf_counter() - sink_start) * 1e6),
+                )
+            for sink in self.sinks:
+                sink_start = time.perf_counter()
+                sink(batch.seq, batch.examples, votes)
+                elapsed_us = int((time.perf_counter() - sink_start) * 1e6)
+                name = getattr(sink, "name", type(sink).__name__)
+                counters.increment("sink/us", elapsed_us)
+                counters.increment(f"sink/{name}/us", elapsed_us)
+                counters.increment(f"sink/{name}/batches")
+                counters.increment(
+                    f"sink/{name}/records", len(batch.examples)
+                )
+            counters.increment("sink/batches")
+            counters.increment("sink/records", len(batch.examples))
+        if self.collect_votes:
+            collected_votes.append(votes)
+            collected_ids.extend(e.example_id for e in batch.examples)
+        tallies.batches_done += 1
+        tallies.examples_done += len(batch.examples)
+        latency = time.perf_counter() - batch.created
+        tallies.latency_sum += latency
+        tallies.latency_max = max(tallies.latency_max, latency)
+        # The batch's records leave the pipeline here; only now may the
+        # ingest stage decode a replacement batch.
+        resident.subtract(len(batch.examples))
+        permits.release()
+
+    def _build_report(
+        self,
+        counters: CounterSet,
+        resident: Gauge,
+        tallies: _Tallies,
+        wall: float,
+        collected_votes: list[np.ndarray],
+        collected_ids: list[str],
+    ) -> StreamReport:
+        label_matrix = None
+        if self.collect_votes:
+            stacked = (
+                np.vstack(collected_votes)
+                if collected_votes
+                else np.zeros((0, len(self.lfs)), dtype=np.int8)
+            )
+            label_matrix = LabelMatrix(
+                stacked, collected_ids, [lf.name for lf in self.lfs]
+            )
+        return StreamReport(
+            examples=tallies.examples_done,
+            batches=tallies.batches_done,
+            lf_count=len(self.lfs),
+            wall_seconds=wall,
+            peak_resident_records=resident.peak,
+            max_resident_records=self.max_resident_batches * self.batch_size,
+            backpressure_waits=counters.value("ingest/backpressure_waits"),
+            votes_emitted=tallies.votes_emitted,
+            mean_batch_latency_seconds=(
+                tallies.latency_sum / tallies.batches_done
+                if tallies.batches_done
+                else 0.0
+            ),
+            max_batch_latency_seconds=tallies.latency_max,
+            counters=counters.as_dict(),
+            label_matrix=label_matrix,
+            workers=max(
+                self.workers,
+                self.executor.workers if self.executor is not None else 1,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # single-consumer mode
+    # ------------------------------------------------------------------
+    def _run_serial(self, source: Iterable[Example]) -> StreamReport:
         counters = CounterSet()
         resident = Gauge()
         permits = threading.Semaphore(self.max_resident_batches)
@@ -179,28 +396,16 @@ class MicroBatchPipeline:
         stop = threading.Event()
         producer_error: list[BaseException | None] = [None]
 
-        def counted(examples: Iterable[Example]):
-            for example in examples:
-                resident.add(1)
-                yield example
-
         def produce() -> None:
             try:
                 batches = iter_example_batches(
-                    counted(iter(source)), self.batch_size
+                    self._counted(iter(source), resident), self.batch_size
                 )
                 seq = self.first_batch_seq
                 while not stop.is_set():
                     # Admission control: hold a residency permit BEFORE
                     # decoding the next batch's records.
-                    if not permits.acquire(blocking=False):
-                        counters.increment("ingest/backpressure_waits")
-                        waited = time.perf_counter()
-                        permits.acquire()
-                        counters.increment(
-                            "ingest/wait_us",
-                            int((time.perf_counter() - waited) * 1e6),
-                        )
+                    self._acquire_permit(permits, counters)
                     if stop.is_set():
                         permits.release()
                         return
@@ -226,11 +431,7 @@ class MicroBatchPipeline:
         fused_cols = fused_lf_columns(self.lfs)
         collected_votes: list[np.ndarray] = []
         collected_ids: list[str] = []
-        votes_emitted = 0
-        batches_done = 0
-        examples_done = 0
-        latency_sum = 0.0
-        latency_max = 0.0
+        tallies = _Tallies()
 
         wall_start = time.perf_counter()
         start_lf_resources(self.lfs)
@@ -255,47 +456,16 @@ class MicroBatchPipeline:
                     "label/us", int((time.perf_counter() - label_start) * 1e6)
                 )
                 counters.increment("label/batches")
-                batch_votes = int(np.count_nonzero(votes))
-                votes_emitted += batch_votes
-                counters.increment("label/votes", batch_votes)
-                if self.on_batch is not None or self.sinks:
-                    if self.on_batch is not None:
-                        sink_start = time.perf_counter()
-                        self.on_batch(batch.seq, batch.examples, votes)
-                        counters.increment(
-                            "sink/us",
-                            int((time.perf_counter() - sink_start) * 1e6),
-                        )
-                    for sink in self.sinks:
-                        sink_start = time.perf_counter()
-                        sink(batch.seq, batch.examples, votes)
-                        elapsed_us = int(
-                            (time.perf_counter() - sink_start) * 1e6
-                        )
-                        name = getattr(
-                            sink, "name", type(sink).__name__
-                        )
-                        counters.increment("sink/us", elapsed_us)
-                        counters.increment(f"sink/{name}/us", elapsed_us)
-                        counters.increment(f"sink/{name}/batches")
-                        counters.increment(
-                            f"sink/{name}/records", len(batch.examples)
-                        )
-                    counters.increment("sink/batches")
-                if self.collect_votes:
-                    collected_votes.append(votes)
-                    collected_ids.extend(
-                        e.example_id for e in batch.examples
-                    )
-                batches_done += 1
-                examples_done += len(batch.examples)
-                latency = time.perf_counter() - batch.created
-                latency_sum += latency
-                latency_max = max(latency_max, latency)
-                # The batch's records leave the pipeline here; only now
-                # may the ingest stage decode a replacement batch.
-                resident.subtract(len(batch.examples))
-                permits.release()
+                self._finish_batch(
+                    batch,
+                    votes,
+                    counters,
+                    resident,
+                    permits,
+                    tallies,
+                    collected_votes,
+                    collected_ids,
+                )
         except BaseException:
             # Wake the producer if it is blocked on a permit; with the
             # stop flag set it exits at the next check, so the join in
@@ -307,30 +477,156 @@ class MicroBatchPipeline:
             producer.join()
             stop_lf_resources(self.lfs)
         wall = time.perf_counter() - wall_start
+        return self._build_report(
+            counters, resident, tallies, wall, collected_votes, collected_ids
+        )
 
-        label_matrix = None
-        if self.collect_votes:
-            stacked = (
-                np.vstack(collected_votes)
-                if collected_votes
-                else np.zeros((0, len(self.lfs)), dtype=np.int8)
-            )
-            label_matrix = LabelMatrix(
-                stacked, collected_ids, [lf.name for lf in self.lfs]
-            )
-        return StreamReport(
-            examples=examples_done,
-            batches=batches_done,
-            lf_count=len(self.lfs),
-            wall_seconds=wall,
-            peak_resident_records=resident.peak,
-            max_resident_records=self.max_resident_batches * self.batch_size,
-            backpressure_waits=counters.value("ingest/backpressure_waits"),
-            votes_emitted=votes_emitted,
-            mean_batch_latency_seconds=(
-                latency_sum / batches_done if batches_done else 0.0
-            ),
-            max_batch_latency_seconds=latency_max,
-            counters=counters.as_dict(),
-            label_matrix=label_matrix,
+    # ------------------------------------------------------------------
+    # multi-consumer mode
+    # ------------------------------------------------------------------
+    def _run_parallel(self, source: Iterable[Example]) -> StreamReport:
+        """One admission-controlled ingest feeding N labeling workers.
+
+        The ingest thread dispatches each decoded batch straight to the
+        process pool (record-codec round-trip); the calling thread
+        drains completions in whatever order workers finish, buffers
+        out-of-order batches, and finalizes strictly by sequence number
+        — so the sink stage (and therefore checkpoints and durable
+        shards) observes exactly the order a serial run produces.
+        """
+        from repro.parallel import ParallelLabelExecutor
+
+        owned = self.executor is None
+        executor = self.executor
+        if owned:
+            executor = ParallelLabelExecutor(self.suite_spec, self.workers)
+        # Start the pool before the ingest thread exists: forked workers
+        # must never inherit a half-running pipeline.
+        executor.start()
+
+        counters = CounterSet()
+        resident = Gauge()
+        permits = threading.Semaphore(self.max_resident_batches)
+        stop = threading.Event()
+        finished = threading.Event()
+        producer_error: list[BaseException | None] = [None]
+        #: seq -> (created, dispatched) timestamps; written by the ingest
+        #: thread, consumed once by the finalizer (disjoint keys).
+        batch_times: dict[int, tuple[float, float]] = {}
+
+        def produce() -> None:
+            try:
+                batches = iter_example_batches(
+                    self._counted(iter(source), resident), self.batch_size
+                )
+                seq = self.first_batch_seq
+                while not stop.is_set():
+                    self._acquire_permit(permits, counters)
+                    if stop.is_set():
+                        permits.release()
+                        return
+                    decode_start = time.perf_counter()
+                    batch_examples = next(batches, None)
+                    if batch_examples is None:
+                        permits.release()
+                        return
+                    now = time.perf_counter()
+                    counters.increment(
+                        "ingest/decode_us", int((now - decode_start) * 1e6)
+                    )
+                    counters.increment("ingest/records", len(batch_examples))
+                    counters.increment("ingest/batches")
+                    # Timestamps must be visible BEFORE the submit: a
+                    # fast worker can complete the block (and the
+                    # consumer finalize it) before this thread runs
+                    # another line.
+                    batch_times[seq] = (decode_start, now)
+                    executor.submit(seq, batch_examples)
+                    counters.increment(
+                        "ingest/encode_us",
+                        int((time.perf_counter() - now) * 1e6),
+                    )
+                    seq += 1
+            except BaseException as error:  # surfaced on the consumer side
+                producer_error[0] = error
+            finally:
+                finished.set()
+
+        collected_votes: list[np.ndarray] = []
+        collected_ids: list[str] = []
+        tallies = _Tallies()
+        reorder: dict[int, tuple[list[Example], np.ndarray]] = {}
+        next_seq = self.first_batch_seq
+
+        wall_start = time.perf_counter()
+        producer = threading.Thread(
+            target=produce, name="microbatch-ingest", daemon=True
+        )
+        producer.start()
+        try:
+            while True:
+                if finished.is_set() and producer_error[0] is not None:
+                    # The ingest thread died (source error, failed
+                    # dispatch): surface it now rather than waiting on
+                    # worker completions that may never drain.
+                    break
+                if (
+                    finished.is_set()
+                    and executor.pending() == 0
+                    and not reorder
+                ):
+                    break
+                try:
+                    seq, examples, votes, label_us = executor.next_completed(
+                        timeout=0.05
+                    )
+                except queue_module.Empty:
+                    continue
+                if votes.shape[1] != len(self.lfs):
+                    raise ValueError(
+                        f"worker suite produced {votes.shape[1]} vote "
+                        f"columns; this pipeline has {len(self.lfs)} LFs "
+                        "— the suite_spec must rebuild the same suite"
+                    )
+                counters.increment("label/us", label_us)
+                counters.increment("label/batches")
+                reorder[seq] = (examples, votes)
+                while next_seq in reorder:
+                    examples, votes = reorder.pop(next_seq)
+                    created, dispatched = batch_times.pop(next_seq)
+                    counters.increment(
+                        "queue/wait_us",
+                        int((time.perf_counter() - dispatched) * 1e6),
+                    )
+                    self._finish_batch(
+                        _Batch(next_seq, examples, created, dispatched),
+                        votes,
+                        counters,
+                        resident,
+                        permits,
+                        tallies,
+                        collected_votes,
+                        collected_ids,
+                    )
+                    next_seq += 1
+        except BaseException:
+            stop.set()
+            permits.release()
+            raise
+        finally:
+            producer.join()
+            if owned:
+                executor.close()
+            else:
+                # A shared (warm) executor must not carry this run's
+                # blocks into the caller's next run — a failed run would
+                # otherwise leave in-flight state that collides with or
+                # stalls the resume (reset after join: the ingest thread
+                # can no longer submit).
+                executor.reset()
+        if producer_error[0] is not None:
+            raise producer_error[0]
+        wall = time.perf_counter() - wall_start
+        return self._build_report(
+            counters, resident, tallies, wall, collected_votes, collected_ids
         )

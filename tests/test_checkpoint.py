@@ -404,6 +404,7 @@ class TestCrashResume:
         total = base_report.batches_finalized
         assert total >= 5
 
+        n_examples = sum(1 for _ in RecordStreamSource(dfs, shards))
         for kill_after in range(total - 1):
             root = f"/killed-{kill_after}"
             with pytest.raises(SimulatedCrash):
@@ -418,6 +419,16 @@ class TestCrashResume:
             )
             assert report.last_batch_seq == base_report.last_batch_seq
             assert np.array_equal(resumed.online.reconstruct_matrix(), L)
+            # Source-side cursor: the resume seeks, it does not replay —
+            # zero consumed examples are re-decoded, and ingest touches
+            # only what remains past the manifest's cursor.
+            assert report.replayed_examples == 0, (
+                f"replayed {report.replayed_examples} examples after "
+                f"kill at batch {kill_after}"
+            )
+            assert report.stream.counters.get("ingest/records", 0) == (
+                n_examples - report.skipped_examples
+            )
 
     def test_resume_restores_posteriors_to_tolerance(self, staged, lfs):
         dfs, shards, baseline, _ = staged
@@ -442,6 +453,45 @@ class TestCrashResume:
             resumed.online.model.steps_taken
             == baseline.online.model.steps_taken
         )
+
+    def test_legacy_manifest_without_cursor_replays(self, staged, lfs):
+        """Manifests written before source cursors existed (or by plain
+        iterable sources) resume through the replay fallback — slower,
+        but the durable vote/label bytes still converge exactly."""
+
+        class PlainSource:
+            """Hides iter_with_cursor: what a pre-cursor source was."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __iter__(self):
+                return iter(self._inner)
+
+        dfs, shards, baseline, _ = staged
+        reference = tree_bytes(dfs, "/baseline")
+        root = "/legacy-cursor"
+        with pytest.raises(SimulatedCrash):
+            self._make_runner(dfs, lfs, root).run(
+                PlainSource(RecordStreamSource(dfs, shards)),
+                fail_after_batch=2,
+            )
+        resumed = self._make_runner(dfs, lfs, root)
+        report = resumed.run(RecordStreamSource(dfs, shards))
+        assert report.replayed_examples == report.skipped_examples > 0
+
+        def shards_only(tree):
+            return {
+                k: v
+                for k, v in tree.items()
+                if k.startswith("/votes/") or k.startswith("/labels/")
+            }
+
+        # Vote/label shards converge; only the pre-crash manifests keep
+        # their cursor-less legacy meta.
+        assert shards_only(tree_bytes(dfs, root)) == shards_only(reference)
+        L = baseline.online.reconstruct_matrix()
+        assert np.array_equal(resumed.online.reconstruct_matrix(), L)
 
     def test_completed_root_is_idempotent(self, staged, lfs):
         dfs, shards, baseline, _ = staged

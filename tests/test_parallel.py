@@ -1,0 +1,403 @@
+"""Tests for the process-pool parallel labeling subsystem.
+
+The contract under test is *byte identity*: at any worker count, on both
+hot paths (offline in-memory applier and multi-consumer streaming),
+parallel votes / sink shards / posteriors must be bit-exact with a
+serial run — including under artificially skewed per-block latency and
+across worker crashes that exhaust into retries.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.lf.applier import apply_lfs_in_memory, stage_examples
+from repro.lf.default import LabelingFunction
+from repro.lf.registry import LFCategory, LFInfo
+from repro.mapreduce.runner import WorkerFailure
+from repro.parallel import (
+    LFSuiteSpec,
+    ParallelLabelExecutor,
+    decode_example_block,
+    default_workers,
+    encode_example_block,
+    parallel_block_size,
+)
+from repro.streaming import (
+    CheckpointedStream,
+    MicroBatchPipeline,
+    RecordStreamSource,
+)
+from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.core.online_label_model import OnlineLabelModelConfig
+
+from tests.test_checkpoint import make_corpus, make_lfs
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def build_suite():
+    """Module-level factory: what an LFSuiteSpec points at."""
+    return make_lfs()
+
+
+def build_other_suite():
+    """A narrower suite, for the spec-mismatch guard tests."""
+    return make_lfs()[:2]
+
+
+SPEC = LFSuiteSpec(factory="tests.test_parallel:build_suite")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(n=600, seed=23)
+
+
+@pytest.fixture(scope="module")
+def serial_matrix(corpus):
+    return apply_lfs_in_memory(make_lfs(), corpus).matrix
+
+
+# ----------------------------------------------------------------------
+# spec + codec round-trip
+# ----------------------------------------------------------------------
+class TestSuiteSpec:
+    def test_build_reconstructs_the_suite(self):
+        lfs = SPEC.build()
+        assert [lf.name for lf in lfs] == [lf.name for lf in make_lfs()]
+
+    def test_rejects_malformed_factory(self):
+        with pytest.raises(ValueError, match="module:callable"):
+            LFSuiteSpec(factory="not-a-path")
+
+    def test_example_block_round_trip(self, corpus):
+        blob = encode_example_block(corpus[:50])
+        decoded = decode_example_block(blob)
+        assert [e.to_record() for e in decoded] == [
+            e.to_record() for e in corpus[:50]
+        ]
+
+    def test_block_size_is_deterministic_and_bounded(self):
+        assert parallel_block_size(20_000, 4, 8192) == parallel_block_size(
+            20_000, 4, 8192
+        )
+        assert 1 <= parallel_block_size(10, 4, 8192) <= 8192
+        for n in (1, 100, 5000, 100_000):
+            assert parallel_block_size(n, 4, 2048) <= 2048
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers(3) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert default_workers(3) == 7
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            default_workers()
+
+
+# ----------------------------------------------------------------------
+# offline path: serial vs parallel byte identity
+# ----------------------------------------------------------------------
+class TestOfflineParallel:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_matrix_identical_at_every_worker_count(
+        self, corpus, serial_matrix, workers
+    ):
+        L = apply_lfs_in_memory(
+            make_lfs(), corpus, workers=workers, suite_spec=SPEC
+        )
+        assert np.array_equal(L.matrix, serial_matrix)
+        assert L.example_ids == [e.example_id for e in corpus]
+
+    def test_small_block_sizes_do_not_change_votes(self, corpus, serial_matrix):
+        L = apply_lfs_in_memory(
+            make_lfs(), corpus, workers=2, suite_spec=SPEC, batch_size=37
+        )
+        assert np.array_equal(L.matrix, serial_matrix)
+
+    def test_executor_reuse_across_calls(self, corpus, serial_matrix):
+        with ParallelLabelExecutor(SPEC, workers=2) as executor:
+            for _ in range(2):
+                L = apply_lfs_in_memory(
+                    make_lfs(), corpus, executor=executor
+                )
+                assert np.array_equal(L.matrix, serial_matrix)
+
+    def test_requires_spec_or_executor(self, corpus):
+        with pytest.raises(ValueError, match="suite_spec"):
+            apply_lfs_in_memory(make_lfs(), corpus, workers=2)
+
+    def test_rejects_unbatched_parallel(self, corpus):
+        with pytest.raises(ValueError, match="batched"):
+            apply_lfs_in_memory(
+                make_lfs(), corpus, batched=False, workers=2, suite_spec=SPEC
+            )
+
+    def test_rejects_mismatched_suite_spec(self, corpus):
+        wrong = LFSuiteSpec(factory="tests.test_parallel:build_other_suite")
+        with pytest.raises(ValueError, match="suite_spec"):
+            apply_lfs_in_memory(
+                make_lfs(), corpus, workers=2, suite_spec=wrong
+            )
+
+
+# ----------------------------------------------------------------------
+# order-restoring reassembly under skewed per-block latency
+# ----------------------------------------------------------------------
+def _skew_vote(example):
+    """Latency depends on the doc id; the vote never does."""
+    if int(example.example_id.split("-")[1]) < 120:
+        time.sleep(0.002)
+    return 0
+
+
+def build_skewed_suite():
+    """The normal suite plus one LF whose latency depends on the doc id.
+
+    Blocks containing low-numbered documents take visibly longer than
+    later ones, so later blocks overtake earlier ones inside the pool —
+    exactly the completion-order scramble reassembly must undo. The slow
+    LF has no batch kernel and no fused spec, so its sleeps run on every
+    execution path.
+    """
+    slow = LabelingFunction(
+        LFInfo(
+            name="slow_noop",
+            category=LFCategory.CONTENT_HEURISTIC,
+            servable=True,
+            description="deterministic votes, skewed latency",
+        ),
+        fn=_skew_vote,
+    )
+    return [*make_lfs(), slow]
+
+
+class TestReassemblyOrder:
+    def test_skewed_latency_preserves_order(self):
+        corpus = make_corpus(n=400, seed=5)
+        spec = LFSuiteSpec(factory="tests.test_parallel:build_skewed_suite")
+        serial = apply_lfs_in_memory(build_skewed_suite(), corpus)
+        with ParallelLabelExecutor(spec, workers=4) as executor:
+            seen = []
+            blocks = (
+                (seq, corpus[start:start + 40])
+                for seq, start in enumerate(range(0, len(corpus), 40))
+            )
+            rows = []
+            for seq, examples, votes in executor.label_blocks(blocks):
+                seen.append(seq)
+                rows.append(votes)
+        assert seen == sorted(seen), "blocks were emitted out of order"
+        assert np.array_equal(np.vstack(rows), serial.matrix)
+
+    def test_streaming_sinks_see_batches_in_order(self):
+        corpus = make_corpus(n=500, seed=9)
+        spec = LFSuiteSpec(factory="tests.test_parallel:build_skewed_suite")
+        lfs = build_skewed_suite()
+        seqs = []
+        pipe = MicroBatchPipeline(
+            lfs,
+            batch_size=50,
+            max_resident_batches=6,
+            workers=4,
+            suite_spec=spec,
+            on_batch=lambda seq, *_: seqs.append(seq),
+            collect_votes=True,
+        )
+        report = pipe.run(iter(corpus))
+        assert seqs == list(range(report.batches))
+        serial = apply_lfs_in_memory(build_skewed_suite(), corpus)
+        assert np.array_equal(report.label_matrix.matrix, serial.matrix)
+
+
+# ----------------------------------------------------------------------
+# streaming path: multi-consumer equivalence + bounds
+# ----------------------------------------------------------------------
+class TestStreamingParallel:
+    @pytest.fixture(scope="class")
+    def staged(self):
+        corpus = make_corpus(n=700, seed=31)
+        dfs = DistributedFileSystem()
+        shards = stage_examples(dfs, corpus, "/par/examples", num_shards=3)
+        serial = MicroBatchPipeline(
+            make_lfs(), batch_size=64, collect_votes=True
+        ).run(RecordStreamSource(dfs, shards))
+        return dfs, shards, serial
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_votes_identical_at_every_worker_count(self, staged, workers):
+        dfs, shards, serial = staged
+        report = MicroBatchPipeline(
+            make_lfs(),
+            batch_size=64,
+            max_resident_batches=workers + 2,
+            workers=workers,
+            suite_spec=SPEC,
+            collect_votes=True,
+        ).run(RecordStreamSource(dfs, shards))
+        assert report.label_matrix.example_ids == (
+            serial.label_matrix.example_ids
+        )
+        assert np.array_equal(
+            report.label_matrix.matrix, serial.label_matrix.matrix
+        )
+        assert report.workers == workers
+
+    def test_residency_permits_bound_inflight_batches(self, staged):
+        dfs, shards, _ = staged
+        report = MicroBatchPipeline(
+            make_lfs(),
+            batch_size=64,
+            max_resident_batches=3,
+            workers=2,
+            suite_spec=SPEC,
+        ).run(RecordStreamSource(dfs, shards))
+        assert report.peak_resident_records <= report.max_resident_records
+        assert report.max_resident_records == 3 * 64
+
+    def test_posteriors_match_serial(self, staged):
+        dfs, shards, serial = staged
+        report = MicroBatchPipeline(
+            make_lfs(),
+            batch_size=64,
+            max_resident_batches=4,
+            workers=2,
+            suite_spec=SPEC,
+            collect_votes=True,
+        ).run(RecordStreamSource(dfs, shards))
+        config = LabelModelConfig(n_steps=200, seed=0)
+        reference = SamplingFreeLabelModel(config).fit(
+            serial.label_matrix.matrix
+        )
+        parallel = SamplingFreeLabelModel(config).fit(
+            report.label_matrix.matrix
+        )
+        assert (
+            reference.predict_proba(serial.label_matrix.matrix).tobytes()
+            == parallel.predict_proba(report.label_matrix.matrix).tobytes()
+        )
+
+    def test_requires_spec_or_executor(self):
+        with pytest.raises(ValueError, match="suite_spec"):
+            MicroBatchPipeline(make_lfs(), workers=2)
+
+    def test_mismatched_worker_suite_is_rejected(self, staged):
+        dfs, shards, _ = staged
+        wrong = LFSuiteSpec(factory="tests.test_parallel:build_other_suite")
+        pipe = MicroBatchPipeline(
+            make_lfs(), batch_size=64, workers=2, suite_spec=wrong
+        )
+        with pytest.raises(ValueError, match="vote columns"):
+            pipe.run(RecordStreamSource(dfs, shards))
+
+
+# ----------------------------------------------------------------------
+# worker crashes: bounded retry, WorkerFailure, byte identity
+# ----------------------------------------------------------------------
+class TestWorkerCrashes:
+    def test_killed_worker_retries_to_identical_votes(
+        self, corpus, serial_matrix
+    ):
+        with ParallelLabelExecutor(SPEC, workers=2) as executor:
+            executor.kill_worker_on(1, attempts=1)
+            votes = executor.label_examples(corpus, block_size=64)
+            assert executor.pool_restarts >= 1
+        assert np.array_equal(votes, serial_matrix)
+
+    def test_exhausted_retries_surface_worker_failure(self, corpus):
+        with ParallelLabelExecutor(SPEC, workers=2, max_retries=1) as executor:
+            executor.kill_worker_on(0, attempts=10)
+            with pytest.raises(WorkerFailure, match="block 0"):
+                executor.label_examples(corpus, block_size=64)
+
+    def test_streaming_survives_worker_kill_with_identical_shards(self):
+        corpus = make_corpus(n=400, seed=41)
+        dfs = DistributedFileSystem()
+        shards = stage_examples(dfs, corpus, "/kill/examples", num_shards=2)
+        lfs = make_lfs()
+        config = OnlineLabelModelConfig(
+            base=LabelModelConfig(n_steps=200, seed=0), seed=0
+        )
+
+        serial = CheckpointedStream(
+            dfs, lfs, "/kill/serial", batch_size=64, online_config=config
+        )
+        serial.run(RecordStreamSource(dfs, shards))
+
+        executor = ParallelLabelExecutor(SPEC, workers=2)
+        executor.kill_worker_on(2, attempts=1)
+        try:
+            parallel = CheckpointedStream(
+                dfs,
+                lfs,
+                "/kill/parallel",
+                batch_size=64,
+                online_config=config,
+                executor=executor,
+            )
+            parallel.run(RecordStreamSource(dfs, shards))
+        finally:
+            executor.close()
+        assert executor.pool_restarts >= 1
+
+        def tree(root):
+            return {
+                p[len(root):]: dfs.read_file(p) for p in dfs.list(root)
+            }
+
+        assert tree("/kill/parallel") == tree("/kill/serial")
+
+    def test_warm_executor_is_reusable_after_a_failed_run(
+        self, corpus, serial_matrix
+    ):
+        """A failed run must not poison a shared pool: in-flight state
+        is reset, so the same executor serves the next run cleanly."""
+        with ParallelLabelExecutor(SPEC, workers=2, max_retries=0) as executor:
+            executor.kill_worker_on(0, attempts=10)
+            with pytest.raises(WorkerFailure):
+                executor.label_examples(corpus, block_size=64)
+            assert executor.pending() == 0  # label_blocks reset on error
+            executor._kill_plan.clear()
+            votes = executor.label_examples(corpus, block_size=64)
+            assert np.array_equal(votes, serial_matrix)
+
+    def test_shared_executor_survives_pipeline_sink_crash(self):
+        corpus = make_corpus(n=300, seed=13)
+        lfs = make_lfs()
+        serial = apply_lfs_in_memory(lfs, corpus).matrix
+
+        def explode(seq, examples, votes):
+            if seq == 2:
+                raise RuntimeError("sink crashed")
+
+        with ParallelLabelExecutor(SPEC, workers=2) as executor:
+            crashy = MicroBatchPipeline(
+                lfs, batch_size=32, max_resident_batches=4,
+                executor=executor, on_batch=explode,
+            )
+            with pytest.raises(RuntimeError, match="sink crashed"):
+                crashy.run(iter(corpus))
+            assert executor.pending() == 0  # pipeline reset the pool
+            clean = MicroBatchPipeline(
+                lfs, batch_size=32, max_resident_batches=4,
+                executor=executor, collect_votes=True,
+            )
+            report = clean.run(iter(corpus))
+        assert np.array_equal(report.label_matrix.matrix, serial)
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelLabelExecutor(SPEC, workers=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            ParallelLabelExecutor(SPEC, workers=1, max_retries=-1)
+        executor = ParallelLabelExecutor(SPEC, workers=1)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.submit(0, [])
+        # close() is terminal: restarting would leak a pool nothing
+        # can submit to or shut down.
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.start()

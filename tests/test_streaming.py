@@ -150,6 +150,73 @@ class TestSources:
         monkeypatch.setattr(dfs, "read_file", forbid)
         assert len(list(RecordStreamSource(dfs, paths))) == 10
 
+    def test_cursor_resumes_at_every_position(self, dfs):
+        """Resuming from the cursor after example k yields exactly the
+        suffix — the whole stream is the degenerate k=0 case."""
+        examples = [Example(f"e{i}", fields={"k": i}) for i in range(23)]
+        paths = stage_examples(dfs, examples, "/src/e", num_shards=3)
+        source = RecordStreamSource(dfs, paths)
+        pairs = list(source.iter_with_cursor())
+        full_ids = [e.example_id for e, _ in pairs]
+        assert len(full_ids) == len(examples)
+        for k, (_, cursor) in enumerate(pairs):
+            suffix = [e.example_id for e in source.iter_from(cursor)]
+            assert suffix == full_ids[k + 1:], f"bad suffix after {k}"
+
+    def test_cursor_seek_decodes_only_the_suffix(self, dfs, monkeypatch):
+        import repro.streaming.sources as sources_module
+
+        examples = [Example(f"e{i}") for i in range(40)]
+        paths = stage_examples(dfs, examples, "/src/e", num_shards=2)
+        source = RecordStreamSource(dfs, paths)
+        pairs = list(source.iter_with_cursor())
+        _, cursor = pairs[29]  # resume after the 30th example
+
+        decoded = []
+        real = sources_module.stream_records_with_offsets
+
+        def counting(handle, chunk_size):
+            for record, end in real(handle, chunk_size):
+                decoded.append(record["example_id"])
+                yield record, end
+
+        monkeypatch.setattr(
+            sources_module, "stream_records_with_offsets", counting
+        )
+        suffix = list(source.iter_from(cursor))
+        assert len(suffix) == 10
+        # Nothing before the cursor was decoded: the seek skipped it.
+        assert len(decoded) == 10
+
+    def test_cursor_meta_round_trip(self):
+        from repro.streaming import SourceCursor
+
+        cursor = SourceCursor(shard=2, offset=4096)
+        assert SourceCursor.from_meta(cursor.as_meta()) == cursor
+        assert SourceCursor.from_meta({"batch_size": 64}) is None
+
+    def test_cursor_validates_bounds(self, dfs):
+        from repro.streaming import SourceCursor
+
+        examples = [Example(f"e{i}") for i in range(5)]
+        paths = stage_examples(dfs, examples, "/src/e", num_shards=1)
+        source = RecordStreamSource(dfs, paths)
+        with pytest.raises(ValueError, match="out of range"):
+            list(source.iter_from(SourceCursor(shard=5, offset=0)))
+        with pytest.raises(ValueError, match="beyond"):
+            list(source.iter_from(SourceCursor(shard=0, offset=10 ** 9)))
+
+    def test_cursor_at_shard_eof_rolls_to_next_shard(self, dfs):
+        examples = [Example(f"e{i}") for i in range(12)]
+        paths = stage_examples(dfs, examples, "/src/e", num_shards=2)
+        source = RecordStreamSource(dfs, paths)
+        pairs = list(source.iter_with_cursor())
+        shard0_records = sum(1 for _, c in pairs if c.shard == 0)
+        eof_cursor = pairs[shard0_records - 1][1]
+        assert eof_cursor.shard == 0
+        rest = [e.example_id for e in source.iter_from(eof_cursor)]
+        assert rest == [e.example_id for e, _ in pairs[shard0_records:]]
+
 
 # ----------------------------------------------------------------------
 # pipeline
@@ -210,6 +277,64 @@ class TestMicroBatchPipeline:
             >= report.mean_batch_latency_seconds
         )
 
+    def test_stage_accounting_is_per_stage(self, product_pipeline):
+        """Regression: every stage once read ``ingest/records``, so a
+        sink-less run reported ingest volume for the sink stage and an
+        infinite records/sec (records > 0 over 0 recorded time)."""
+        lfs, examples = product_pipeline
+        report = MicroBatchPipeline(lfs, batch_size=50).run(
+            MemorySource(examples, fresh=True)
+        )
+        sink = report.stage("sink")
+        assert sink.records == 0
+        assert sink.batches == 0
+        assert sink.records_per_second == 0.0  # not inf
+        label = report.stage("label")
+        assert label.records == len(examples)
+        assert label.batches == report.batches
+        ingest = report.stage("ingest")
+        assert ingest.records == len(examples)
+
+    def test_sink_stage_counts_its_own_records(self, product_pipeline):
+        lfs, examples = product_pipeline
+        report = MicroBatchPipeline(
+            lfs, batch_size=50, on_batch=lambda *_: None
+        ).run(MemorySource(examples, fresh=True))
+        sink = report.stage("sink")
+        assert sink.records == len(examples)
+        assert sink.batches == report.batches
+
+    def test_counter_contract_keys_all_appear(self, product_pipeline):
+        """Every documented counter key must show up in a real run.
+
+        Regression for the docstring drift that advertised
+        ``queue/wait_us`` as the backpressure timing: the contract now
+        names ``ingest/wait_us`` for backpressure and this test pins
+        every key — a renamed or dropped counter fails here, not in a
+        dashboard."""
+        from repro.streaming.pipeline import (
+            CONDITIONAL_COUNTER_KEYS,
+            COUNTER_CONTRACT,
+        )
+
+        lfs, examples = product_pipeline
+        report = MicroBatchPipeline(
+            lfs,
+            batch_size=32,
+            max_resident_batches=1,
+            on_batch=lambda *_: time.sleep(0.002),  # force backpressure
+        ).run(MemorySource(examples, fresh=True))
+        for key in COUNTER_CONTRACT:
+            assert key in report.counters, f"missing documented key {key}"
+        # This run configured a sink and stalled ingest, so every
+        # conditional key except the multi-consumer one must appear too.
+        for key in CONDITIONAL_COUNTER_KEYS:
+            if key == "ingest/encode_us":
+                continue  # multi-consumer only; covered in test_parallel
+            assert key in report.counters, f"missing conditional key {key}"
+        # Backpressure time lands in ingest/wait_us, never queue/wait_us.
+        assert report.counters["ingest/wait_us"] > 0
+
     def test_empty_source(self, product_pipeline):
         lfs, _ = product_pipeline
         report = MicroBatchPipeline(lfs, collect_votes=True).run(
@@ -218,6 +343,7 @@ class TestMicroBatchPipeline:
         assert report.examples == 0
         assert report.batches == 0
         assert report.label_matrix.matrix.shape == (0, len(lfs))
+        assert report.stage("label").records_per_second == 0.0
 
     def test_sink_error_propagates(self, product_pipeline):
         lfs, examples = product_pipeline
