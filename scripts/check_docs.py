@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Documentation link checker.
+
+Scans every tracked markdown file (repo root, ``docs/``, and package
+directories) for inline ``[text](target)`` links and verifies that
+every *intra-repo* target resolves to an existing file or directory.
+External links (``http(s)://``, ``mailto:``) and pure anchors (``#...``)
+are skipped; a relative target's ``#fragment`` suffix is stripped before
+the existence check.
+
+Exit status is non-zero when any link is broken, printing one
+``file:line: broken link`` diagnostic per finding — the CI docs job runs
+this so a renamed file cannot silently orphan the documentation suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Directories never scanned (generated, vendored, or tool-private).
+SKIP_DIRS = {
+    ".git",
+    ".pytest_cache",
+    ".claude",
+    "__pycache__",
+    "node_modules",
+    ".venv",
+    "venv",
+    "build",
+    "dist",
+}
+
+
+def _skipped(parts: tuple[str, ...]) -> bool:
+    return any(
+        part in SKIP_DIRS or part.endswith(".egg-info") for part in parts
+    )
+
+#: Inline markdown link: [text](target). Images ![alt](target) match
+#: too via the optional bang. Angle-bracketed autolinks are not links
+#: to repo files and are ignored.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(repo: Path):
+    """Every markdown file under the repo, skipping private trees."""
+    for path in sorted(repo.rglob("*.md")):
+        if _skipped(path.relative_to(repo).parts):
+            continue
+        yield path
+
+
+def broken_links(path: Path, repo: Path) -> list[tuple[int, str]]:
+    """``(line, target)`` for every intra-repo link that fails to resolve.
+
+    Relative targets resolve against the file's directory; targets
+    starting with ``/`` resolve against the *repo* root (GitHub-style),
+    never the host filesystem root.
+    """
+    findings: list[tuple[int, str]] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            stripped = target.split("#", 1)[0]
+            if stripped.startswith("/"):
+                resolved = (repo / stripped.lstrip("/")).resolve()
+            else:
+                resolved = (path.parent / stripped).resolve()
+            if not resolved.exists():
+                findings.append((lineno, target))
+    return findings
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    status = 0
+    checked = 0
+    for path in iter_markdown_files(repo):
+        checked += 1
+        for lineno, target in broken_links(path, repo):
+            print(
+                f"{path.relative_to(repo)}:{lineno}: broken link "
+                f"-> {target}"
+            )
+            status = 1
+    print(f"[check_docs] {checked} markdown files checked")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,12 @@ byte-compile pass plus an AST sweep for the highest-signal Pyflakes
 classes (unused imports, duplicate definitions), so the gate still
 catches real defects offline instead of silently passing.
 
+On top of either path, the gate enforces public docstrings on the
+packages whose APIs ``docs/`` documents (:data:`DOCSTRING_ENFORCED`):
+every public module, class, function, and method there must carry a
+docstring — the documentation suite links into these modules, so an
+undocumented export is a doc regression, not a style nit.
+
 Exit status is non-zero on any finding.
 """
 
@@ -20,6 +26,73 @@ import sys
 from pathlib import Path
 
 TARGETS = ["src", "tests", "benchmarks", "examples", "scripts"]
+
+#: Paths (files or package directories, repo-relative) whose public API
+#: must be fully docstringed. These are the surfaces docs/ARCHITECTURE.md
+#: and docs/OPERATIONS.md link into.
+DOCSTRING_ENFORCED = [
+    "src/repro/streaming",
+    "src/repro/parallel",
+    "src/repro/core/online_label_model.py",
+    "src/repro/core/drift.py",
+]
+
+
+def iter_enforced_files(repo: Path):
+    for target in DOCSTRING_ENFORCED:
+        path = repo / target
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.exists():
+            yield path
+
+
+def missing_public_docstrings(tree: ast.Module) -> list[tuple[int, str]]:
+    """Public defs without a docstring: ``(lineno, qualified name)``.
+
+    Public means not underscore-prefixed; dunder methods are exempt
+    (the class docstring covers construction), as are trivial
+    ``@property`` wrappers' *private* helpers by the same underscore
+    rule. The module itself must also carry a docstring.
+    """
+    findings: list[tuple[int, str]] = []
+    if not ast.get_docstring(tree):
+        findings.append((1, "<module>"))
+
+    def is_public(name: str) -> bool:
+        return not name.startswith("_")
+
+    def check_def(node, prefix: str) -> None:
+        name = f"{prefix}{node.name}"
+        if not ast.get_docstring(node):
+            findings.append((node.lineno, name))
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ) and is_public(child.name):
+                    check_def(child, f"{name}.")
+
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and is_public(node.name):
+            check_def(node, "")
+    return findings
+
+
+def run_docstring_gate(repo: Path) -> int:
+    status = 0
+    for path in iter_enforced_files(repo):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for lineno, name in missing_public_docstrings(tree):
+            print(
+                f"{path.relative_to(repo)}:{lineno}: missing public "
+                f"docstring for {name!r}"
+            )
+            status = 1
+    return status
 
 
 def run_ruff(repo: Path) -> int:
@@ -103,9 +176,8 @@ def run_fallback(repo: Path) -> int:
 
 def main() -> int:
     repo = Path(__file__).resolve().parent.parent
-    if shutil.which("ruff"):
-        return run_ruff(repo)
-    return run_fallback(repo)
+    status = run_ruff(repo) if shutil.which("ruff") else run_fallback(repo)
+    return run_docstring_gate(repo) or status
 
 
 if __name__ == "__main__":

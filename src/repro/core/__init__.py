@@ -11,6 +11,10 @@ Public surface:
   accumulation, incremental exact-gradient updates, and periodic full
   refits that reproduce the offline fit exactly (``repro.streaming``
   feeds it micro-batches).
+* :class:`DriftMonitor` / :class:`DriftPolicy` — moment-based drift
+  alarms for streaming deployments: tracked reference vs. recent
+  windows over LF fire rates and the agreement matrix, with pluggable
+  reactions (log, forced refit, reference reset).
 * :class:`MulticlassLabelModel` — the categorical-target generalization
   mentioned in Section 2.
 * :class:`GibbsLabelModel` — the original-Snorkel Gibbs-sampling trainer,
@@ -25,6 +29,7 @@ Public surface:
   (how Section 3.3's "previously unknown low-quality sources" were found).
 """
 
+from repro.core.drift import DriftCheck, DriftMonitor, DriftPolicy
 from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
 from repro.core.online_label_model import (
     OnlineLabelModel,
@@ -52,6 +57,9 @@ __all__ = [
     "SamplingFreeLabelModel",
     "OnlineLabelModel",
     "OnlineLabelModelConfig",
+    "DriftCheck",
+    "DriftMonitor",
+    "DriftPolicy",
     "MulticlassLabelModel",
     "GibbsLabelModel",
     "StructuredLabelModel",

@@ -1,0 +1,485 @@
+"""Moment-based drift detection for streaming weak supervision.
+
+DryBell's premise is labeling *non-stationary* organizational traffic:
+content shifts, signals rot, and an LF suite that was accurate last
+month quietly degrades (the paper's Section 3.3 diagnostics exist
+precisely because "previously unknown low-quality sources" keep
+appearing). A continuously running stream therefore needs an alarm that
+fires when the vote distribution moves — *before* anyone inspects an
+end-model metric — and a policy for what to do when it does.
+
+The monitor here reads the same cheap streaming vote moments the
+:class:`~repro.core.online_label_model.OnlineLabelModel` already
+maintains, but split into two tracked windows:
+
+* a **reference window** — the first ``reference_batches`` micro-batches
+  after start (or after a reference reset), aggregated once and then
+  frozen: the regime the stream is assumed to be in;
+* a **recent window** — a rolling window over the last
+  ``recent_batches`` micro-batches: the regime the stream is actually
+  in.
+
+Per finalized micro-batch the monitor compares the two windows over
+three moment families — per-LF mean votes ``E[lambda_j]`` (class-balance
+and polarity shifts), per-LF fire rates ``P(lambda_j != 0)`` (coverage
+shifts), and the pairwise agreement matrix ``E[lambda_j lambda_k]``
+(correlation-structure shifts) — as pooled two-sample z statistics. The
+**shift score** is the maximum absolute z over every tracked statistic;
+an alarm fires when it exceeds ``threshold``. Because each statistic is
+normalized by its pooled sampling variance, the score is ~O(1) on a
+stationary stream regardless of batch size or LF count, so a single
+threshold works across workloads.
+
+Reactions are pluggable (``DriftPolicy.reactions``): ``"log"`` only
+counts the alarm, ``"refit"`` invokes a caller-supplied callback
+(wired to :meth:`OnlineLabelModel.refit` by
+:class:`repro.streaming.checkpoint.CheckpointedStream`, forcing an early
+refit so the model re-estimates from recency-weighted votes), and
+``"reset_reference"`` adopts the recent window as the new reference —
+the stream is declared to be in a new regime and stops re-alarming on
+the same shift.
+
+All monitor state snapshots bit-exactly (:meth:`DriftMonitor.state_dict`)
+so checkpoint manifests can restore it and a resumed stream alarms on
+exactly the batches the uninterrupted run would have.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["DriftPolicy", "DriftCheck", "DriftMonitor", "DRIFT_REACTIONS"]
+
+#: The reaction names :class:`DriftPolicy` accepts, in execution order.
+DRIFT_REACTIONS = ("log", "refit", "reset_reference")
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """Configuration for :class:`DriftMonitor`.
+
+    Attributes:
+        reference_batches: Micro-batches aggregated into the frozen
+            reference window after start or a reference reset. Larger
+            values make the reference estimate tighter (fewer false
+            alarms) but slow down the first possible check.
+        recent_batches: Size of the rolling recent window. Detection
+            latency is at most ``recent_batches`` micro-batches once the
+            reference is built — the score is computed as soon as one
+            shifted batch enters the window, but the statistic is
+            diluted until the window is fully post-shift.
+        threshold: Alarm threshold on the shift score (a max of pooled
+            two-sample z statistics). Stationary streams score ~O(1-4)
+            depending on how many statistics are tracked; the default 6
+            keeps false alarms negligible while real shifts score in the
+            tens.
+        reactions: Reactions executed, in order, on every alarmed batch.
+            Subset of :data:`DRIFT_REACTIONS`: ``"log"`` (count only),
+            ``"refit"`` (invoke the monitor's refit callback),
+            ``"reset_reference"`` (adopt the recent window as the new
+            reference and clear the recent window).
+
+    Raises:
+        ValueError: On non-positive window sizes or threshold, or an
+            unknown reaction name.
+    """
+
+    reference_batches: int = 8
+    recent_batches: int = 4
+    threshold: float = 6.0
+    reactions: tuple[str, ...] = ("log",)
+
+    def __post_init__(self) -> None:
+        if self.reference_batches < 1:
+            raise ValueError(
+                f"reference_batches must be >= 1, got {self.reference_batches}"
+            )
+        if self.recent_batches < 1:
+            raise ValueError(
+                f"recent_batches must be >= 1, got {self.recent_batches}"
+            )
+        if not self.threshold > 0:
+            raise ValueError(f"threshold must be > 0, got {self.threshold}")
+        unknown = [r for r in self.reactions if r not in DRIFT_REACTIONS]
+        if unknown:
+            raise ValueError(
+                f"unknown drift reactions {unknown}; choose from "
+                f"{DRIFT_REACTIONS}"
+            )
+
+
+@dataclass(frozen=True)
+class DriftCheck:
+    """The outcome of feeding one micro-batch to :class:`DriftMonitor`.
+
+    Attributes:
+        batch: Monitor-local batch index (0-based count of observed
+            batches).
+        checked: Whether both windows were full, i.e. a score was
+            actually computed. Batches consumed while the reference or
+            recent window is still filling return ``checked=False``.
+        score: The shift score (max pooled |z| over tracked statistics);
+            0.0 when not checked.
+        alarmed: Whether ``score`` exceeded the policy threshold.
+        reactions: The reaction names that actually fired on this batch
+            (empty unless alarmed).
+    """
+
+    batch: int
+    checked: bool
+    score: float
+    alarmed: bool
+    reactions: tuple[str, ...] = ()
+
+
+@dataclass
+class _WindowStats:
+    """Vote-moment sums for one micro-batch (all integer-valued)."""
+
+    vote_sum: np.ndarray
+    fire_sum: np.ndarray
+    agreement: np.ndarray
+    count: float
+
+
+class DriftMonitor:
+    """Reference-vs-recent drift detector over streaming vote moments.
+
+    Feed it every finalized micro-batch's votes, in stream order, via
+    :meth:`observe_batch`. The monitor is deterministic: the same vote
+    stream produces the same scores, alarms, and reactions, and a
+    monitor restored from :meth:`state_dict` continues bit-exactly.
+
+    Attributes:
+        policy: The :class:`DriftPolicy` in force.
+        n_lfs: LF count, fixed by the first observed batch.
+        batches_observed: Total micro-batches fed to the monitor.
+        checks_run: Batches for which a score was computed.
+        alarms: Total alarmed batches.
+        forced_refits: ``"refit"`` reactions fired.
+        reference_resets: ``"reset_reference"`` reactions fired.
+        first_alarm_batch: Monitor-local index of the first alarmed
+            batch, or ``None``.
+        last_score: The most recent computed score (0.0 before the first
+            check).
+    """
+
+    def __init__(
+        self,
+        policy: DriftPolicy | None = None,
+        refit_callback: Callable[[], object] | None = None,
+    ) -> None:
+        """Create a monitor.
+
+        Args:
+            policy: Windows/threshold/reactions; defaults to
+                ``DriftPolicy()``.
+            refit_callback: Zero-argument callable invoked by the
+                ``"refit"`` reaction (its return value is ignored).
+
+        Raises:
+            ValueError: If the policy requests the ``"refit"`` reaction
+                but no ``refit_callback`` was supplied.
+        """
+        self.policy = policy or DriftPolicy()
+        if "refit" in self.policy.reactions and refit_callback is None:
+            raise ValueError(
+                "the 'refit' reaction needs a refit_callback (typically "
+                "OnlineLabelModel.refit, wired by CheckpointedStream)"
+            )
+        self._refit_callback = refit_callback
+        self.n_lfs: int | None = None
+        self.batches_observed = 0
+        self.checks_run = 0
+        self.alarms = 0
+        self.forced_refits = 0
+        self.reference_resets = 0
+        self.first_alarm_batch: int | None = None
+        self.last_score = 0.0
+        # Frozen reference window (sums over reference_batches batches).
+        self._ref: _WindowStats | None = None
+        self._ref_batches = 0
+        # Rolling recent window, one _WindowStats per batch.
+        self._recent: deque[_WindowStats] = deque()
+
+    # ------------------------------------------------------------------
+    # streaming interface
+    # ------------------------------------------------------------------
+    def observe_batch(self, votes: np.ndarray) -> DriftCheck:
+        """Fold one micro-batch of votes in; maybe score, maybe alarm.
+
+        Args:
+            votes: ``(B, m)`` array over ``{-1, 0, +1}``, in stream
+                order. ``m`` is fixed by the first batch.
+
+        Returns:
+            A :class:`DriftCheck` describing what happened — whether a
+            score was computed, its value, and any reactions fired.
+
+        Raises:
+            ValueError: On a non-2-D batch, a column-count mismatch, or
+                votes outside ``{-1, 0, 1}``.
+        """
+        stats = self._batch_stats(votes)
+        batch = self.batches_observed
+        self.batches_observed += 1
+        if stats.count == 0:
+            return DriftCheck(batch=batch, checked=False, score=0.0, alarmed=False)
+        if self._ref_batches < self.policy.reference_batches:
+            self._fold_into_reference(stats)
+            return DriftCheck(batch=batch, checked=False, score=0.0, alarmed=False)
+        self._recent.append(stats)
+        while len(self._recent) > self.policy.recent_batches:
+            self._recent.popleft()
+        if len(self._recent) < self.policy.recent_batches:
+            return DriftCheck(batch=batch, checked=False, score=0.0, alarmed=False)
+        score = self._score()
+        self.checks_run += 1
+        self.last_score = score
+        alarmed = bool(score > self.policy.threshold)
+        fired: tuple[str, ...] = ()
+        if alarmed:
+            self.alarms += 1
+            if self.first_alarm_batch is None:
+                self.first_alarm_batch = batch
+            fired = self._react()
+        return DriftCheck(
+            batch=batch,
+            checked=True,
+            score=score,
+            alarmed=alarmed,
+            reactions=fired,
+        )
+
+    def reset_reference(self) -> None:
+        """Adopt the recent window as the new reference regime.
+
+        The recent window's aggregate seeds the new reference and the
+        recent window empties. When ``recent_batches <
+        reference_batches`` the seeded reference keeps absorbing
+        subsequent batches until it holds ``reference_batches`` of them
+        (only then does the recent window start refilling), so the next
+        check happens up to ``reference_batches`` batches after the
+        reset — the post-alarm blind spot to budget for when sizing the
+        windows. With an empty recent window this clears the reference
+        entirely and the next ``reference_batches`` batches rebuild it.
+        """
+        if self._recent:
+            total = self._sum_window(self._recent)
+            self._ref = total
+            self._ref_batches = len(self._recent)
+            self._recent.clear()
+        else:
+            self._ref = None
+            self._ref_batches = 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _batch_stats(self, votes: np.ndarray) -> _WindowStats:
+        """Validate one batch and reduce it to its moment sums."""
+        votes = np.asarray(votes)
+        if votes.ndim != 2:
+            raise ValueError(f"votes must be 2-D, got shape {votes.shape}")
+        if self.n_lfs is None:
+            self.n_lfs = votes.shape[1]
+        elif votes.shape[1] != self.n_lfs:
+            raise ValueError(
+                f"vote batch has {votes.shape[1]} columns, monitor has "
+                f"{self.n_lfs} labeling functions"
+            )
+        if votes.size and not np.isin(votes, (-1, 0, 1)).all():
+            bad = votes[~np.isin(votes, (-1, 0, 1))][0]
+            raise ValueError(f"votes must be in {{-1, 0, 1}}, got {bad!r}")
+        dense = votes.astype(np.float64)
+        absd = np.abs(dense)
+        return _WindowStats(
+            vote_sum=dense.sum(axis=0),
+            fire_sum=absd.sum(axis=0),
+            agreement=dense.T @ dense,
+            count=float(votes.shape[0]),
+        )
+
+    def _fold_into_reference(self, stats: _WindowStats) -> None:
+        """Accumulate one batch into the still-filling reference window."""
+        if self._ref is None:
+            self._ref = _WindowStats(
+                vote_sum=stats.vote_sum.copy(),
+                fire_sum=stats.fire_sum.copy(),
+                agreement=stats.agreement.copy(),
+                count=stats.count,
+            )
+        else:
+            self._ref.vote_sum += stats.vote_sum
+            self._ref.fire_sum += stats.fire_sum
+            self._ref.agreement += stats.agreement
+            self._ref.count += stats.count
+        self._ref_batches += 1
+
+    @staticmethod
+    def _sum_window(window: deque[_WindowStats]) -> _WindowStats:
+        """Aggregate a deque of per-batch stats (exact: all integers)."""
+        first = window[0]
+        total = _WindowStats(
+            vote_sum=first.vote_sum.copy(),
+            fire_sum=first.fire_sum.copy(),
+            agreement=first.agreement.copy(),
+            count=first.count,
+        )
+        for stats in list(window)[1:]:
+            total.vote_sum += stats.vote_sum
+            total.fire_sum += stats.fire_sum
+            total.agreement += stats.agreement
+            total.count += stats.count
+        return total
+
+    def _score(self) -> float:
+        """Max pooled two-sample |z| over mean/fire/agreement statistics."""
+        ref = self._ref
+        rec = self._sum_window(self._recent)
+        n1, n2 = ref.count, rec.count
+        inv = 1.0 / n1 + 1.0 / n2
+        # A variance floor keeps deterministic statistics (zero sample
+        # variance) from dividing by zero while still letting a changed
+        # deterministic statistic score far above any threshold.
+        var_floor = 1.0 / (n1 + n2)
+
+        def z(diff: np.ndarray, pooled_var: np.ndarray) -> float:
+            se = np.sqrt(np.maximum(pooled_var, var_floor) * inv)
+            return float(np.max(np.abs(diff) / se)) if diff.size else 0.0
+
+        scores = []
+        # Mean votes: E[lambda_j]; var = E[lambda^2] - E[lambda]^2 and
+        # E[lambda^2] is exactly the fire rate for votes in {-1, 0, 1}.
+        mean1 = ref.vote_sum / n1
+        mean2 = rec.vote_sum / n2
+        pooled_mean = (ref.vote_sum + rec.vote_sum) / (n1 + n2)
+        pooled_fire = (ref.fire_sum + rec.fire_sum) / (n1 + n2)
+        scores.append(z(mean1 - mean2, pooled_fire - pooled_mean**2))
+        # Fire rates: Bernoulli variance p(1-p) at the pooled rate.
+        fire1 = ref.fire_sum / n1
+        fire2 = rec.fire_sum / n2
+        scores.append(z(fire1 - fire2, pooled_fire * (1.0 - pooled_fire)))
+        # Agreement matrix, strict upper triangle (the diagonal is the
+        # fire rate, already covered). The product lambda_j lambda_k is
+        # in {-1, 0, 1}, so E[(lambda_j lambda_k)^2] <= 1 and we bound
+        # its variance by 1 - E[lambda_j lambda_k]^2, the worst case
+        # over co-fire rates — slightly conservative, which only ever
+        # *suppresses* false alarms.
+        m = self.n_lfs or 0
+        if m >= 2:
+            iu = np.triu_indices(m, k=1)
+            agree1 = (ref.agreement / n1)[iu]
+            agree2 = (rec.agreement / n2)[iu]
+            pooled_agree = ((ref.agreement + rec.agreement) / (n1 + n2))[iu]
+            scores.append(z(agree1 - agree2, 1.0 - pooled_agree**2))
+        return max(scores)
+
+    def _react(self) -> tuple[str, ...]:
+        """Execute the policy's reactions; returns the names fired."""
+        fired = []
+        for reaction in self.policy.reactions:
+            if reaction == "log":
+                fired.append(reaction)
+            elif reaction == "refit":
+                self._refit_callback()
+                self.forced_refits += 1
+                fired.append(reaction)
+            elif reaction == "reset_reference":
+                self.reset_reference()
+                self.reference_resets += 1
+                fired.append(reaction)
+        return tuple(fired)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Bit-exact snapshot of everything :meth:`observe_batch` mutates.
+
+        Returns:
+            A JSON-safe dict (arrays as base64 raw buffers) that
+            :meth:`load_state` restores exactly — a resumed monitor
+            scores and alarms on the same batches as one that never
+            stopped.
+        """
+        from repro.dfs.records import encode_ndarray
+
+        def enc_window(stats: _WindowStats | None) -> dict | None:
+            if stats is None:
+                return None
+            return {
+                "vote_sum": encode_ndarray(stats.vote_sum),
+                "fire_sum": encode_ndarray(stats.fire_sum),
+                "agreement": encode_ndarray(stats.agreement),
+                "count": stats.count,
+            }
+
+        return {
+            "schema": 1,
+            "n_lfs": self.n_lfs,
+            "batches_observed": self.batches_observed,
+            "checks_run": self.checks_run,
+            "alarms": self.alarms,
+            "forced_refits": self.forced_refits,
+            "reference_resets": self.reference_resets,
+            "first_alarm_batch": self.first_alarm_batch,
+            "last_score": self.last_score,
+            "reference": enc_window(self._ref),
+            "reference_batches": self._ref_batches,
+            "recent": [enc_window(stats) for stats in self._recent],
+        }
+
+    def load_state(self, state: dict) -> "DriftMonitor":
+        """Restore a :meth:`state_dict` snapshot onto this instance.
+
+        The monitor must have been constructed with the same policy the
+        snapshot was taken under (policies are the caller's contract,
+        the snapshot carries only mutable state).
+
+        Args:
+            state: A dict produced by :meth:`state_dict`.
+
+        Returns:
+            ``self``, for chaining.
+        """
+        from repro.dfs.records import decode_ndarray
+
+        def dec_window(payload: dict | None) -> _WindowStats | None:
+            if payload is None:
+                return None
+            return _WindowStats(
+                vote_sum=decode_ndarray(payload["vote_sum"]),
+                fire_sum=decode_ndarray(payload["fire_sum"]),
+                agreement=decode_ndarray(payload["agreement"]),
+                count=float(payload["count"]),
+            )
+
+        self.n_lfs = state["n_lfs"]
+        self.batches_observed = int(state["batches_observed"])
+        self.checks_run = int(state["checks_run"])
+        self.alarms = int(state["alarms"])
+        self.forced_refits = int(state["forced_refits"])
+        self.reference_resets = int(state["reference_resets"])
+        first = state["first_alarm_batch"]
+        self.first_alarm_batch = None if first is None else int(first)
+        self.last_score = float(state["last_score"])
+        self._ref = dec_window(state["reference"])
+        self._ref_batches = int(state["reference_batches"])
+        self._recent = deque(
+            dec_window(payload) for payload in state["recent"]
+        )
+        return self
+
+    def set_refit_callback(self, callback: Callable[[], object]) -> None:
+        """Bind (or rebind) the callable the ``"refit"`` reaction invokes.
+
+        Args:
+            callback: Zero-argument callable; its return value is
+                ignored.
+        """
+        self._refit_callback = callback

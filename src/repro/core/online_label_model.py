@@ -17,8 +17,8 @@ independent model:
 2. **Cheap first/second vote moments track the stream between refits.**
    Per-LF vote sums, fire rates, and the pairwise agreement matrix are
    O(m^2) per micro-batch and feed monitoring (the Section 3.3
-   "previously unknown low-quality sources" diagnostics) without any
-   optimization.
+   "previously unknown low-quality sources" diagnostics, and the drift
+   monitor in :mod:`repro.core.drift`) without any optimization.
 
 Training interleaves two update kinds:
 
@@ -28,15 +28,39 @@ Training interleaves two update kinds:
   O(steps x batch) cost per micro-batch;
 * ``refit()`` (scheduled every ``refit_every`` batches, or called
   manually at stream end) rebuilds the label matrix from the pattern log
-  and runs the *identical* offline ``fit`` — same config, same seed, same
-  bytes — so after a refit the online model's parameters and posteriors
-  are exactly those of an offline :class:`SamplingFreeLabelModel` fit on
-  the same data (the equivalence suite asserts agreement to 1e-6; in
-  practice they are bitwise equal).
+  and runs the *identical* offline ``fit``.
+
+Retention modes
+---------------
+Production traffic is non-stationary; a refit that pools all of history
+keeps trusting labeling functions long after they rot. The accumulators
+therefore run in one of three modes, selected by the config:
+
+* **cumulative** (default): moments and the pattern log grow without
+  forgetting. Refits reproduce the offline fit on the full stream
+  *exactly* — same config, same seed, same bytes — so after a refit the
+  online model's parameters and posteriors are exactly those of an
+  offline :class:`SamplingFreeLabelModel` fit on the same data (the
+  equivalence suite asserts agreement to 1e-6; in practice they are
+  bitwise equal).
+* **decay** (``decay=0.95``-ish): every observed micro-batch multiplies
+  the moments and the per-pattern weights by ``decay`` before folding
+  the new batch in — an exponential recency window with half-life
+  ``ln 2 / ln(1/decay)`` batches. Patterns whose weight sinks below
+  ``pattern_weight_floor`` are evicted, so the log's footprint tracks
+  the *recent* pattern diversity, not all of history. Refits reconstruct
+  a recency-weighted matrix: each retained pattern repeated
+  ``round(weight)`` times.
+* **window** (``window_batches=N``): moments and the pattern log cover
+  exactly the last ``N`` micro-batches (exact rolling sums — all
+  integer-valued, so no drift). Patterns no longer referenced by the
+  window are evicted. Refits see precisely the window's rows, in stream
+  order.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -63,27 +87,95 @@ class OnlineLabelModelConfig:
     seed: int = 0
     """Seed for the incremental-step minibatch sampler (distinct from the
     refit seed, which lives in ``base.seed``)."""
+    decay: float | None = None
+    """Per-batch exponential decay on moments and pattern weights, in
+    (0, 1); ``None`` (with ``window_batches=None``) keeps the cumulative
+    all-of-history behavior. Mutually exclusive with ``window_batches``."""
+    window_batches: int | None = None
+    """Sliding-window retention: moments and pattern log cover exactly
+    the last N observed micro-batches. Mutually exclusive with
+    ``decay``."""
+    pattern_weight_floor: float = 0.25
+    """Decay mode only: patterns whose decayed weight falls below this
+    floor are evicted from the log. Must be in (0, 1) so a pattern seen
+    in the current batch (weight >= 1) is never evicted on arrival."""
 
 
 class OnlineLabelModel:
-    """Streaming accumulator + incremental trainer for the label model."""
+    """Streaming accumulator + incremental trainer for the label model.
+
+    Feed micro-batches via :meth:`observe`; read the current parameter
+    estimate from :attr:`model`; call :meth:`refit` (or set
+    ``refit_every``) for full re-estimates from the retained pattern
+    log. Retention semantics (cumulative / decay / window) are set by
+    the config — see the module docstring.
+    """
 
     def __init__(self, config: OnlineLabelModelConfig | None = None) -> None:
+        """Build an empty model.
+
+        Args:
+            config: Trainer + retention configuration; defaults to
+                cumulative retention with the default offline config.
+
+        Raises:
+            ValueError: If the config sets both ``decay`` and
+                ``window_batches``, or sets either to an out-of-range
+                value, or sets ``pattern_weight_floor`` outside (0, 1).
+        """
         self.config = config or OnlineLabelModelConfig()
-        self._model = SamplingFreeLabelModel(replace(self.config.base))
-        self._rng = np.random.default_rng(self.config.seed)
+        cfg = self.config
+        if cfg.decay is not None and cfg.window_batches is not None:
+            raise ValueError(
+                "decay and window_batches are mutually exclusive "
+                "retention modes; set at most one"
+            )
+        if cfg.decay is not None and not (0.0 < cfg.decay < 1.0):
+            raise ValueError(f"decay must be in (0, 1), got {cfg.decay}")
+        if cfg.window_batches is not None and cfg.window_batches < 1:
+            raise ValueError(
+                f"window_batches must be >= 1, got {cfg.window_batches}"
+            )
+        if not (0.0 < cfg.pattern_weight_floor < 1.0):
+            raise ValueError(
+                "pattern_weight_floor must be in (0, 1), got "
+                f"{cfg.pattern_weight_floor}"
+            )
+        self._model = SamplingFreeLabelModel(replace(cfg.base))
+        self._rng = np.random.default_rng(cfg.seed)
         self.n_lfs: int | None = None
         self.n_observed = 0
         self.batches_observed = 0
         self.refits_done = 0
-        # Pattern log: distinct vote rows + per-example pattern ids.
+        # Pattern log: distinct vote rows, plus per-example pattern ids
+        # (cumulative/window) or per-pattern decayed weights (decay).
         self._pattern_ids: dict[bytes, int] = {}
         self._pattern_rows: list[np.ndarray] = []
         self._row_ids: list[np.ndarray] = []
-        # Streaming vote moments.
+        self._pattern_weights: np.ndarray | None = (
+            np.zeros(0) if cfg.decay is not None else None
+        )
+        self._pattern_refs: np.ndarray | None = (
+            np.zeros(0, dtype=np.int64) if cfg.window_batches is not None else None
+        )
+        # Streaming vote moments (recency-weighted in decay/window mode)
+        # plus the effective sample weight behind them.
         self._vote_sum: np.ndarray | None = None
         self._fire_sum: np.ndarray | None = None
         self._agreement: np.ndarray | None = None
+        self._moment_weight = 0.0
+        self._window_moments: deque[tuple] | None = (
+            deque() if cfg.window_batches is not None else None
+        )
+
+    @property
+    def mode(self) -> str:
+        """Retention mode: ``"cumulative"``, ``"decay"``, or ``"window"``."""
+        if self.config.decay is not None:
+            return "decay"
+        if self.config.window_batches is not None:
+            return "window"
+        return "cumulative"
 
     # ------------------------------------------------------------------
     # streaming updates
@@ -91,9 +183,17 @@ class OnlineLabelModel:
     def observe(self, votes: np.ndarray) -> None:
         """Fold one micro-batch of votes into the model.
 
-        ``votes`` is an ``(B, m)`` array over ``{-1, 0, +1}``; rows are
-        appended to the pattern log in arrival order so a later refit
-        sees exactly the stream's label matrix.
+        ``votes`` is an ``(B, m)`` array over ``{-1, 0, +1}``; rows enter
+        the pattern log in arrival order (and, in decay/window mode,
+        displace stale history per the retention policy) so a later
+        refit sees the retained stream's label matrix.
+
+        Args:
+            votes: The micro-batch's vote rows, stream-ordered.
+
+        Raises:
+            ValueError: On a non-2-D batch, a column-count mismatch with
+                earlier batches, or votes outside ``{-1, 0, 1}``.
         """
         votes = self._validate(votes)
         if votes.shape[0] == 0:
@@ -108,12 +208,21 @@ class OnlineLabelModel:
             self.refit()
 
     def refit(self) -> SamplingFreeLabelModel:
-        """Full offline fit on everything observed so far.
+        """Full offline fit on the retained pattern log.
 
         Reconstructs the label matrix from the pattern log and runs the
         unmodified :meth:`SamplingFreeLabelModel.fit` with the ``base``
-        config — the result is exactly what an offline fit on the same
-        stream prefix produces.
+        config. In cumulative mode the result is exactly what an offline
+        fit on the same stream prefix produces; in decay/window mode it
+        is the offline fit of the *recency-weighted* matrix (see
+        :meth:`reconstruct_matrix`).
+
+        Returns:
+            The freshly fitted inner model (also exposed as
+            :attr:`model`).
+
+        Raises:
+            RuntimeError: If no votes have been observed yet.
         """
         if self.n_observed == 0:
             raise RuntimeError("cannot refit before observing any votes")
@@ -149,12 +258,45 @@ class OnlineLabelModel:
             self._fire_sum = np.zeros(m)
             self._agreement = np.zeros((m, m))
         dense = votes.astype(np.float64)
-        self._vote_sum += dense.sum(axis=0)
-        self._fire_sum += np.abs(dense).sum(axis=0)
-        self._agreement += dense.T @ dense
+        vote = dense.sum(axis=0)
+        fire = np.abs(dense).sum(axis=0)
+        agree = dense.T @ dense
+        count = float(votes.shape[0])
+        mode = self.mode
+        if mode == "decay":
+            d = self.config.decay
+            self._vote_sum = d * self._vote_sum + vote
+            self._fire_sum = d * self._fire_sum + fire
+            self._agreement = d * self._agreement + agree
+            self._moment_weight = d * self._moment_weight + count
+        elif mode == "window":
+            # Rolling sums stay exact: every entry is an integer-valued
+            # float64, so adding a batch in and subtracting it back out
+            # later reproduces the same bits regardless of order.
+            self._window_moments.append((vote, fire, agree, count))
+            self._vote_sum += vote
+            self._fire_sum += fire
+            self._agreement += agree
+            self._moment_weight += count
+            while len(self._window_moments) > self.config.window_batches:
+                o_vote, o_fire, o_agree, o_count = self._window_moments.popleft()
+                self._vote_sum -= o_vote
+                self._fire_sum -= o_fire
+                self._agreement -= o_agree
+                self._moment_weight -= o_count
+        else:
+            self._vote_sum += vote
+            self._fire_sum += fire
+            self._agreement += agree
+            self._moment_weight += count
 
     def _append_patterns(self, votes: np.ndarray) -> None:
+        mode = self.mode
         uniq, inverse = np.unique(votes, axis=0, return_inverse=True)
+        if mode == "decay" and len(self._pattern_weights):
+            # Age the whole log before folding this batch in.
+            self._pattern_weights *= self.config.decay
+        new_rows = 0
         local_to_global = np.empty(len(uniq), dtype=np.int32)
         for k, row in enumerate(uniq):
             key = row.tobytes()
@@ -163,8 +305,56 @@ class OnlineLabelModel:
                 pattern = len(self._pattern_rows)
                 self._pattern_ids[key] = pattern
                 self._pattern_rows.append(row.copy())
+                new_rows += 1
             local_to_global[k] = pattern
-        self._row_ids.append(local_to_global[inverse.astype(np.int32)])
+        if mode == "decay":
+            counts = np.bincount(
+                np.ravel(inverse), minlength=len(uniq)
+            ).astype(np.float64)
+            if new_rows:
+                self._pattern_weights = np.concatenate(
+                    [self._pattern_weights, np.zeros(new_rows)]
+                )
+            self._pattern_weights[local_to_global] += counts
+            self._evict_patterns(
+                self._pattern_weights >= self.config.pattern_weight_floor
+            )
+        elif mode == "window":
+            counts = np.bincount(np.ravel(inverse), minlength=len(uniq))
+            if new_rows:
+                self._pattern_refs = np.concatenate(
+                    [self._pattern_refs, np.zeros(new_rows, dtype=np.int64)]
+                )
+            self._pattern_refs[local_to_global] += counts
+            self._row_ids.append(local_to_global[inverse.astype(np.int32)])
+            while len(self._row_ids) > self.config.window_batches:
+                expired = self._row_ids.pop(0)
+                self._pattern_refs -= np.bincount(
+                    expired, minlength=len(self._pattern_refs)
+                )
+            self._evict_patterns(self._pattern_refs > 0)
+        else:
+            self._row_ids.append(local_to_global[inverse.astype(np.int32)])
+
+    def _evict_patterns(self, keep: np.ndarray) -> None:
+        """Drop patterns where ``keep`` is False; remap retained ids."""
+        if bool(keep.all()):
+            return
+        remap = np.cumsum(keep) - 1
+        self._pattern_rows = [
+            row for row, kept in zip(self._pattern_rows, keep) if kept
+        ]
+        self._pattern_ids = {
+            row.tobytes(): i for i, row in enumerate(self._pattern_rows)
+        }
+        if self._pattern_weights is not None:
+            self._pattern_weights = self._pattern_weights[keep]
+        if self._pattern_refs is not None:
+            self._pattern_refs = self._pattern_refs[keep]
+        if self._row_ids:
+            self._row_ids = [
+                remap[ids].astype(np.int32) for ids in self._row_ids
+            ]
 
     def _incremental_steps(self, votes: np.ndarray) -> None:
         cfg = self.config
@@ -188,20 +378,27 @@ class OnlineLabelModel:
     def state_dict(self) -> dict:
         """Bit-exact snapshot of everything :meth:`observe` mutates.
 
-        Includes the minibatch sampler's RNG state and both step
-        counters (``batches_observed`` here, ``steps_taken`` on the
-        inner model) so a restored model takes *exactly* the gradient
-        steps the uninterrupted run would have taken — resumed streams
-        converge to the same parameters to the bit, not just in
-        distribution.
+        Includes the minibatch sampler's RNG state, both step counters
+        (``batches_observed`` here, ``steps_taken`` on the inner model),
+        and the retention-mode state (decayed moments and pattern
+        weights, or the rolling window's per-batch contributions) so a
+        restored model takes *exactly* the updates the uninterrupted run
+        would have taken — resumed streams converge to the same
+        parameters to the bit, not just in distribution.
+
+        Returns:
+            A JSON-safe dict (arrays as base64 raw buffers). Schema 2;
+            readers accept schema-1 dicts written before the retention
+            modes existed (see :meth:`load_state`).
         """
         from repro.dfs.records import encode_ndarray
 
         def enc(array: np.ndarray | None):
             return None if array is None else encode_ndarray(array)
 
+        window = self._window_moments
         return {
-            "schema": 1,
+            "schema": 2,
             "n_lfs": self.n_lfs,
             "n_observed": self.n_observed,
             "batches_observed": self.batches_observed,
@@ -218,6 +415,23 @@ class OnlineLabelModel:
             "fire_sum": enc(self._fire_sum),
             "agreement": enc(self._agreement),
             "model": self._model.state_dict(),
+            # Retention-mode state (schema 2; absent in pre-drift
+            # manifests, which load_state treats as cumulative).
+            "moment_weight": self._moment_weight,
+            "pattern_weights": enc(self._pattern_weights),
+            "pattern_refs": enc(self._pattern_refs),
+            "window_vote_sums": enc(
+                np.stack([e[0] for e in window]) if window else None
+            ),
+            "window_fire_sums": enc(
+                np.stack([e[1] for e in window]) if window else None
+            ),
+            "window_agreements": enc(
+                np.stack([e[2] for e in window]) if window else None
+            ),
+            "window_counts": enc(
+                np.array([e[3] for e in window]) if window else None
+            ),
         }
 
     def load_state(self, state: dict) -> "OnlineLabelModel":
@@ -225,7 +439,16 @@ class OnlineLabelModel:
 
         The instance must have been constructed with the same config the
         snapshot was taken under (configs are the caller's contract, the
-        snapshot carries only mutable state).
+        snapshot carries only mutable state). Schema-1 dicts — written
+        by pre-drift checkpoints, before the retention modes existed —
+        restore cleanly: the missing retention keys default to the
+        cumulative-mode values they implicitly had.
+
+        Args:
+            state: A dict produced by :meth:`state_dict` (schema 1 or 2).
+
+        Returns:
+            ``self``, for chaining.
         """
         from repro.dfs.records import decode_ndarray
 
@@ -253,6 +476,40 @@ class OnlineLabelModel:
         self._vote_sum = dec(state["vote_sum"])
         self._fire_sum = dec(state["fire_sum"])
         self._agreement = dec(state["agreement"])
+        # Schema-1 dicts predate the retention modes: their implicit
+        # moment weight is the observed count and they carry no decayed
+        # weights or window segments.
+        self._moment_weight = float(
+            state.get("moment_weight", self.n_observed)
+        )
+        weights = dec(state.get("pattern_weights"))
+        if self.config.decay is not None:
+            self._pattern_weights = (
+                np.zeros(len(self._pattern_rows)) if weights is None else weights
+            )
+        else:
+            self._pattern_weights = weights
+        refs = dec(state.get("pattern_refs"))
+        if self.config.window_batches is not None:
+            self._pattern_refs = (
+                np.zeros(len(self._pattern_rows), dtype=np.int64)
+                if refs is None
+                else refs
+            )
+        else:
+            self._pattern_refs = refs
+        self._window_moments = (
+            deque() if self.config.window_batches is not None else None
+        )
+        w_votes = dec(state.get("window_vote_sums"))
+        if w_votes is not None and self._window_moments is not None:
+            w_fires = dec(state.get("window_fire_sums"))
+            w_agrees = dec(state.get("window_agreements"))
+            w_counts = dec(state.get("window_counts"))
+            for k in range(len(w_counts)):
+                self._window_moments.append(
+                    (w_votes[k], w_fires[k], w_agrees[k], float(w_counts[k]))
+                )
         self._model = SamplingFreeLabelModel(replace(self.config.base))
         self._model.load_state(state["model"])
         return self
@@ -261,10 +518,23 @@ class OnlineLabelModel:
     # reconstruction + accessors
     # ------------------------------------------------------------------
     def reconstruct_matrix(self) -> np.ndarray:
-        """The exact observed label matrix, in stream order, as int8."""
+        """The retained label matrix the next refit will train on.
+
+        Returns:
+            Cumulative mode: the exact observed matrix, in stream order,
+            as int8. Window mode: exactly the last ``window_batches``
+            micro-batches' rows, in stream order. Decay mode: the
+            recency-weighted matrix — each retained pattern repeated
+            ``round(weight)`` times (half-up, so a weight at 0.5 still
+            contributes a row), in pattern-id order; patterns whose
+            weight rounds to zero are omitted.
+        """
         if self.n_observed == 0:
             return np.zeros((0, self.n_lfs or 0), dtype=np.int8)
         patterns = np.vstack(self._pattern_rows)
+        if self.mode == "decay":
+            reps = np.floor(self._pattern_weights + 0.5).astype(np.int64)
+            return patterns[np.repeat(np.arange(len(patterns)), reps)]
         ids = np.concatenate(self._row_ids)
         return patterns[ids]
 
@@ -278,36 +548,107 @@ class OnlineLabelModel:
         """Distinct vote rows retained — the compressed stream size."""
         return len(self._pattern_rows)
 
+    @property
+    def effective_examples(self) -> float:
+        """The weight behind the current moments: ``n_observed`` in
+        cumulative mode, the decayed mass in decay mode, the window's
+        example count in window mode."""
+        return self._moment_weight
+
     def predict_proba(self, L: np.ndarray) -> np.ndarray:
+        """Posterior ``P(Y=+1 | L)`` from the current parameter estimate.
+
+        Args:
+            L: ``(n, m)`` vote matrix over ``{-1, 0, 1}``.
+
+        Returns:
+            ``(n,)`` float64 posteriors.
+
+        Raises:
+            RuntimeError: If the inner model has no parameters yet.
+        """
         return self._model.predict_proba(L)
 
     def predict(self, L: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels in ``{-1, +1}`` at a probability threshold.
+
+        Args:
+            L: ``(n, m)`` vote matrix over ``{-1, 0, 1}``.
+            threshold: Posterior cut; rows at exactly the threshold
+                (no-evidence rows under the uniform prior) stay -1.
+
+        Returns:
+            ``(n,)`` int8 labels.
+
+        Raises:
+            RuntimeError: If the inner model has no parameters yet.
+        """
         return self._model.predict(L, threshold)
 
     def accuracies(self) -> np.ndarray:
+        """Estimated ``P(lambda_j correct | lambda_j != 0)`` per LF.
+
+        Returns:
+            ``(m,)`` float64 accuracies from the current estimate.
+
+        Raises:
+            RuntimeError: If the inner model has no parameters yet.
+        """
         return self._model.accuracies()
 
     def propensities(self) -> np.ndarray:
+        """Estimated ``P(lambda_j != 0)`` per LF.
+
+        Returns:
+            ``(m,)`` float64 propensities from the current estimate.
+
+        Raises:
+            RuntimeError: If the inner model has no parameters yet.
+        """
         return self._model.propensities()
 
     # ------------------------------------------------------------------
     # streaming moments (monitoring surface)
     # ------------------------------------------------------------------
     def mean_votes(self) -> np.ndarray:
-        """First vote moment per LF: ``E[lambda_j]`` over the stream."""
+        """First vote moment per LF: ``E[lambda_j]`` over the retained
+        (recency-weighted) stream.
+
+        Returns:
+            ``(m,)`` float64 means.
+
+        Raises:
+            RuntimeError: If no votes have been observed yet.
+        """
         self._check_observed()
-        return self._vote_sum / self.n_observed
+        return self._vote_sum / self._moment_weight
 
     def fire_rates(self) -> np.ndarray:
-        """Empirical propensity per LF: ``P(lambda_j != 0)``."""
+        """Empirical propensity per LF: ``P(lambda_j != 0)`` over the
+        retained (recency-weighted) stream.
+
+        Returns:
+            ``(m,)`` float64 rates.
+
+        Raises:
+            RuntimeError: If no votes have been observed yet.
+        """
         self._check_observed()
-        return self._fire_sum / self.n_observed
+        return self._fire_sum / self._moment_weight
 
     def agreement_matrix(self) -> np.ndarray:
         """Second vote moment ``E[lambda_j lambda_k]`` — the signal the
-        LF-quality diagnostics read for polarity conflicts."""
+        LF-quality diagnostics and the drift monitor read for polarity
+        conflicts.
+
+        Returns:
+            ``(m, m)`` float64 matrix.
+
+        Raises:
+            RuntimeError: If no votes have been observed yet.
+        """
         self._check_observed()
-        return self._agreement / self.n_observed
+        return self._agreement / self._moment_weight
 
     def _check_observed(self) -> None:
         if self.n_observed == 0:

@@ -215,6 +215,7 @@ class ParallelLabelExecutor:
         return self
 
     def close(self) -> None:
+        """Shut the pool down; the executor cannot be reused after."""
         self._closed = True
         with self._pool_lock:
             if self._pool is not None:

@@ -29,12 +29,18 @@ engine of PR 1 into that continuous pipeline:
   byte-identical outputs;
 * :class:`repro.core.online_label_model.OnlineLabelModel` — the
   incremental generative model the pipeline feeds (exported here for
-  convenience).
+  convenience), with cumulative / exponential-decay / sliding-window
+  retention modes;
+* :class:`repro.core.drift.DriftMonitor` — moment-based drift alarms
+  (also re-exported): attach one to :class:`MicroBatchPipeline` or a
+  :class:`CheckpointedStream` via a :class:`repro.core.drift.DriftPolicy`
+  and read the ``drift/*`` counters off the stream report.
 
 Everything downstream is unchanged: probabilistic labels flow to the
 FTRL-trained discriminative models exactly as in the offline pipeline.
 """
 
+from repro.core.drift import DriftCheck, DriftMonitor, DriftPolicy
 from repro.core.online_label_model import (
     OnlineLabelModel,
     OnlineLabelModelConfig,
@@ -79,4 +85,7 @@ __all__ = [
     "SimulatedCrash",
     "OnlineLabelModel",
     "OnlineLabelModelConfig",
+    "DriftCheck",
+    "DriftMonitor",
+    "DriftPolicy",
 ]

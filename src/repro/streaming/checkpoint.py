@@ -9,9 +9,19 @@ periodically snapshots everything else a resumed stream needs —
   plus the seekable (shard, byte offset) position when the source
   supports it),
 * the :class:`~repro.core.online_label_model.OnlineLabelModel`'s full
-  mutable state: vote moments, the dictionary-encoded pattern log, the
-  minibatch sampler's RNG state, and both step counters,
-* optionally the FTRL end model's per-coordinate optimizer state.
+  mutable state: vote moments (including decay/window retention state),
+  the dictionary-encoded pattern log, the minibatch sampler's RNG
+  state, and both step counters,
+* optionally the FTRL end model's per-coordinate optimizer state,
+* optionally the :class:`~repro.core.drift.DriftMonitor`'s reference /
+  recent windows and alarm counters, so a resumed stream scores and
+  alarms on exactly the batches the uninterrupted run would have.
+
+Manifests stay schema-compatible in both directions: a manifest written
+without drift state (including every pre-drift manifest) restores into a
+drift-aware stream — the online model falls back to cumulative-era
+defaults and the monitor starts fresh — and the drift record is simply
+absent when no policy is configured.
 
 Manifests are written with the write-then-rename idiom
 (:meth:`repro.dfs.filesystem.DistributedFileSystem.finalize_as`): staged
@@ -49,6 +59,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.drift import DriftMonitor, DriftPolicy
 from repro.core.online_label_model import OnlineLabelModel, OnlineLabelModelConfig
 from repro.dfs.filesystem import DistributedFileSystem
 from repro.dfs.records import RecordWriter, read_records
@@ -79,7 +90,11 @@ class SimulatedCrash(RuntimeError):
 
 @dataclass
 class Checkpoint:
-    """One loaded manifest: durable progress plus restorable state."""
+    """One loaded manifest: durable progress plus restorable state.
+
+    ``drift_state`` is ``None`` for manifests written without a drift
+    policy — including every pre-drift (schema-compatible) manifest.
+    """
 
     path: str
     batch: int
@@ -87,6 +102,7 @@ class Checkpoint:
     meta: dict
     label_model_state: dict
     end_model_state: dict | None = None
+    drift_state: dict | None = None
 
 
 class CheckpointManager:
@@ -98,6 +114,7 @@ class CheckpointManager:
         self.directory = f"{self.root}/checkpoints"
 
     def manifest_path(self, batch: int) -> str:
+        """The canonical manifest path for a finalized batch number."""
         return f"{self.directory}/ckpt-{batch:06d}"
 
     # ------------------------------------------------------------------
@@ -110,8 +127,25 @@ class CheckpointManager:
         label_model_state: dict,
         end_model_state: dict | None = None,
         meta: dict | None = None,
+        drift_state: dict | None = None,
     ) -> str:
-        """Atomically publish one manifest; returns its path."""
+        """Atomically publish one manifest.
+
+        Args:
+            batch: Last finalized batch sequence number.
+            cursor: Examples consumed up to and including ``batch``.
+            label_model_state: :meth:`OnlineLabelModel.state_dict`.
+            end_model_state: Optional end-model ``state_dict``.
+            meta: Extra meta fields (batch size, LF names, source
+                cursor position).
+            drift_state: Optional :meth:`DriftMonitor.state_dict`;
+                omitted records keep the manifest readable by any
+                consumer (the record simply isn't there, exactly as in
+                pre-drift manifests).
+
+        Returns:
+            The finalized manifest path.
+        """
         final = self.manifest_path(batch)
         staged = f"{self.directory}/.staged-ckpt-{batch:06d}"
         # A writer that crashed after create() but before the rename
@@ -130,6 +164,8 @@ class CheckpointManager:
             writer.write({"kind": "label_model", "state": label_model_state})
             if end_model_state is not None:
                 writer.write({"kind": "end_model", "state": end_model_state})
+            if drift_state is not None:
+                writer.write({"kind": "drift", "state": drift_state})
         return final
 
     # ------------------------------------------------------------------
@@ -160,6 +196,19 @@ class CheckpointManager:
         return None if path is None else self.load(path)
 
     def load(self, path: str) -> Checkpoint:
+        """Decode one manifest into a :class:`Checkpoint`.
+
+        Args:
+            path: A finalized manifest path.
+
+        Returns:
+            The decoded :class:`Checkpoint` (drift/end-model states are
+            ``None`` when their records are absent).
+
+        Raises:
+            ValueError: If the file is not a manifest, has an
+                unsupported schema, or lacks the label-model record.
+        """
         records = read_records(self._dfs, path)
         if not records or records[0].get("kind") != "meta":
             raise ValueError(f"{path} is not a checkpoint manifest")
@@ -183,6 +232,7 @@ class CheckpointManager:
             },
             label_model_state=states["label_model"],
             end_model_state=states.get("end_model"),
+            drift_state=states.get("drift"),
         )
 
 
@@ -297,7 +347,37 @@ class CheckpointedStream:
         workers: int = 1,
         suite_spec=None,
         executor=None,
+        drift: DriftPolicy | None = None,
     ) -> None:
+        """Configure a durable, resumable stream.
+
+        Args:
+            dfs: The filesystem holding shards and manifests.
+            lfs: Labeling-function suite (fixed for the root's life).
+            root: Durable root; sinks and manifests live under it.
+            batch_size: Micro-batch size (pinned by the first manifest).
+            max_resident_batches: Residency-permit pool size.
+            online_config: Online label model configuration, including
+                its retention mode (cumulative / decay / window).
+            checkpoint_every: Manifest cadence in finalized batches.
+            write_labels: Also persist per-batch probabilistic labels.
+            end_model: Optional prequential FTRL end model.
+            featurizer: Required iff ``end_model`` is given.
+            end_model_epochs: FTRL passes per micro-batch.
+            workers: ``> 1`` labels batches on a process pool.
+            suite_spec: Picklable LF-suite factory for workers.
+            executor: A live, reusable parallel executor.
+            drift: Optional :class:`repro.core.drift.DriftPolicy`. When
+                set, each run owns a :class:`DriftMonitor` fed every
+                finalized batch; the ``"refit"`` reaction forces an
+                early :meth:`OnlineLabelModel.refit`, monitor state is
+                snapshotted into every manifest (bit-exactly), and
+                ``drift/*`` counters appear on the stream report.
+
+        Raises:
+            ValueError: On a non-positive ``checkpoint_every`` or an
+                ``end_model``/``featurizer`` mismatch.
+        """
         if checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
@@ -323,8 +403,12 @@ class CheckpointedStream:
         self.workers = workers
         self.suite_spec = suite_spec
         self.executor = executor
+        #: Drift policy; each run() builds a fresh monitor from it (and
+        #: restores the manifest's monitor snapshot on resume).
+        self.drift_policy = drift
         self.manager = CheckpointManager(dfs, self.root)
         self.online = OnlineLabelModel(self.online_config)
+        self.drift_monitor: DriftMonitor | None = None
         # Per-run state, rebuilt by run().
         self._cursor = 0
         self._last_seq = -1
@@ -350,6 +434,12 @@ class CheckpointedStream:
         """
         checkpoint = self.manager.latest()
         self.online = OnlineLabelModel(self.online_config)
+        self.drift_monitor = None
+        if self.drift_policy is not None:
+            self.drift_monitor = DriftMonitor(
+                self.drift_policy,
+                refit_callback=lambda: self.online.refit(),
+            )
         resumed_from: int | None = None
         cursor = 0
         lf_names = [lf.name for lf in self.lfs]
@@ -370,6 +460,16 @@ class CheckpointedStream:
                     "column-compatible with the durable ones"
                 )
             self.online.load_state(checkpoint.label_model_state)
+            # Monitor state restores only when this run monitors drift
+            # AND the manifest carries a snapshot; a pre-drift manifest
+            # (or one written without a policy) starts the monitor
+            # fresh, and a manifest written *with* drift state resumes
+            # bit-exactly — same scores, same alarm batches.
+            if (
+                self.drift_monitor is not None
+                and checkpoint.drift_state is not None
+            ):
+                self.drift_monitor.load_state(checkpoint.drift_state)
             if self.end_model is not None:
                 if checkpoint.end_model_state is None:
                     raise ValueError(
@@ -411,6 +511,7 @@ class CheckpointedStream:
             workers=self.workers,
             suite_spec=self.suite_spec,
             executor=self.executor,
+            drift_monitor=self.drift_monitor,
         )
         # Source replay: seek when we can, replay-and-discard when we
         # must. A cursor-capable source resumes at the manifest's
@@ -512,6 +613,11 @@ class CheckpointedStream:
                 None if self.end_model is None else self.end_model.state_dict()
             ),
             meta=meta,
+            drift_state=(
+                None
+                if self.drift_monitor is None
+                else self.drift_monitor.state_dict()
+            ),
         )
         self._last_checkpoint_seq = seq
         self._checkpoints_written += 1

@@ -57,6 +57,16 @@ land in ``ingest/backpressure_waits`` / ``ingest/wait_us`` — *not* in
 ``sink/<name>/us|batches|records``), and multi-consumer runs add
 ``ingest/encode_us`` for the record-codec framing of each dispatched
 batch.
+
+Runs with a drift monitor attached (``drift_monitor=``) additionally
+emit ``drift/batches`` (batches fed to the monitor), ``drift/checks``
+(batches where both windows were full and a score was computed),
+``drift/alarms`` (score over threshold), and — per reaction fired —
+``drift/forced_refits`` / ``drift/reference_resets``. The monitor is
+fed on the consumer thread, strictly in batch order, *after* the
+``on_batch`` callback (so a model sink has already observed the batch
+when a forced refit fires) and *before* the durable sinks (so label
+sinks and checkpoint manifests see post-reaction state).
 """
 
 from __future__ import annotations
@@ -106,7 +116,8 @@ COUNTER_CONTRACT = (
 )
 
 #: Keys recorded only when their condition occurs: backpressure stalls,
-#: a configured sink stage, or multi-consumer dispatch.
+#: a configured sink stage, multi-consumer dispatch, or an attached
+#: drift monitor (the ``drift/*`` family).
 CONDITIONAL_COUNTER_KEYS = (
     "ingest/backpressure_waits",
     "ingest/wait_us",
@@ -114,6 +125,11 @@ CONDITIONAL_COUNTER_KEYS = (
     "sink/us",
     "sink/batches",
     "sink/records",
+    "drift/batches",
+    "drift/checks",
+    "drift/alarms",
+    "drift/forced_refits",
+    "drift/reference_resets",
 )
 
 
@@ -147,8 +163,9 @@ class PipelineStats:
 
     @property
     def records_per_second(self) -> float:
-        # A stage that recorded no time reports 0.0 — never inf, which
-        # the report once produced for a sink stage that never ran.
+        """Stage throughput; a stage that recorded no time reports 0.0
+        — never inf, which the report once produced for a sink stage
+        that never ran."""
         if self.seconds <= 0:
             return 0.0
         return self.records / self.seconds
@@ -174,6 +191,7 @@ class StreamReport:
 
     @property
     def examples_per_second(self) -> float:
+        """End-to-end sustained throughput over the run's wall time."""
         if self.wall_seconds <= 0:
             return float("inf") if self.examples else 0.0
         return self.examples / self.wall_seconds
@@ -198,6 +216,7 @@ class StreamReport:
         )
 
     def stages(self) -> dict[str, PipelineStats]:
+        """All three stage summaries, keyed ``ingest``/``label``/``sink``."""
         return {name: self.stage(name) for name in ("ingest", "label", "sink")}
 
 
@@ -216,7 +235,39 @@ class MicroBatchPipeline:
         workers: int = 1,
         suite_spec=None,
         executor=None,
+        drift_monitor=None,
     ) -> None:
+        """Configure the pipeline.
+
+        Args:
+            lfs: The labeling-function suite, applied per micro-batch
+                through the same block kernel as the offline applier.
+            batch_size: Examples per micro-batch.
+            max_resident_batches: Residency-permit pool size — the hard
+                bound on decoded micro-batches in flight.
+            on_batch: Callback ``(seq, examples, votes)`` run first per
+                finalized batch (model updates).
+            collect_votes: Keep every batch's votes and return them as
+                one :class:`~repro.types.LabelMatrix` on the report.
+            sinks: Ordered durable sinks, run after ``on_batch`` while
+                the batch holds its residency permit.
+            first_batch_seq: Batch numbering offset (resume support).
+            workers: ``> 1`` labels batches on a process pool
+                (multi-consumer mode).
+            suite_spec: Picklable LF-suite factory for worker processes.
+            executor: A live, reusable
+                :class:`repro.parallel.ParallelLabelExecutor`.
+            drift_monitor: Optional
+                :class:`repro.core.drift.DriftMonitor` fed every
+                finalized batch's votes, in order, between ``on_batch``
+                and the sinks; its activity lands in the ``drift/*``
+                counters.
+
+        Raises:
+            ValueError: On non-positive sizes, a negative
+                ``first_batch_seq``, or ``workers > 1`` without a
+                ``suite_spec`` or ``executor``.
+        """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if max_resident_batches < 1:
@@ -253,6 +304,10 @@ class MicroBatchPipeline:
         self.workers = workers
         self.suite_spec = suite_spec
         self.executor = executor
+        #: Drift monitor fed per finalized batch (consumer thread, batch
+        #: order) — between ``on_batch`` and the sink stage, so forced
+        #: refits mutate model state before anything durable observes it.
+        self.drift_monitor = drift_monitor
 
     # ------------------------------------------------------------------
     # execution
@@ -309,14 +364,26 @@ class MicroBatchPipeline:
         batch_votes = int(np.count_nonzero(votes))
         tallies.votes_emitted += batch_votes
         counters.increment("label/votes", batch_votes)
+        if self.on_batch is not None:
+            sink_start = time.perf_counter()
+            self.on_batch(batch.seq, batch.examples, votes)
+            counters.increment(
+                "sink/us",
+                int((time.perf_counter() - sink_start) * 1e6),
+            )
+        if self.drift_monitor is not None:
+            check = self.drift_monitor.observe_batch(votes)
+            counters.increment("drift/batches")
+            if check.checked:
+                counters.increment("drift/checks")
+            if check.alarmed:
+                counters.increment("drift/alarms")
+            for reaction in check.reactions:
+                if reaction == "refit":
+                    counters.increment("drift/forced_refits")
+                elif reaction == "reset_reference":
+                    counters.increment("drift/reference_resets")
         if self.on_batch is not None or self.sinks:
-            if self.on_batch is not None:
-                sink_start = time.perf_counter()
-                self.on_batch(batch.seq, batch.examples, votes)
-                counters.increment(
-                    "sink/us",
-                    int((time.perf_counter() - sink_start) * 1e6),
-                )
             for sink in self.sinks:
                 sink_start = time.perf_counter()
                 sink(batch.seq, batch.examples, votes)

@@ -63,11 +63,22 @@ class RecordBatchSink:
     # write path
     # ------------------------------------------------------------------
     def shard_path(self, seq: int) -> str:
+        """The canonical shard path for batch ``seq`` under this sink."""
         return f"{self.root}/{self.kind}/batch-{seq:06d}"
 
     def batch_payloads(
         self, seq: int, examples: list[Example], votes: np.ndarray
     ) -> Iterator[dict[str, Any]]:
+        """Yield the records one batch's shard contains (subclass hook).
+
+        Args:
+            seq: Batch sequence number.
+            examples: The batch's examples, stream-ordered.
+            votes: The batch's ``(B, m)`` vote matrix.
+
+        Raises:
+            NotImplementedError: Always, on the base class.
+        """
         raise NotImplementedError
 
     def __call__(
@@ -140,6 +151,7 @@ class VoteSink(RecordBatchSink):
     def batch_payloads(
         self, seq: int, examples: list[Example], votes: np.ndarray
     ) -> Iterator[dict[str, Any]]:
+        """One meta record, then ``{example_id, votes}`` per example."""
         yield {
             "kind": "meta",
             "batch": seq,
@@ -178,6 +190,11 @@ class LabelSink(RecordBatchSink):
     def batch_payloads(
         self, seq: int, examples: list[Example], votes: np.ndarray
     ) -> Iterator[dict[str, Any]]:
+        """One meta record, then ``{example_id, proba}`` per example.
+
+        Raises:
+            ValueError: If ``proba_fn`` returns the wrong shape.
+        """
         proba = np.asarray(self._proba_fn(votes), dtype=np.float64)
         if proba.shape != (len(examples),):
             raise ValueError(

@@ -59,6 +59,8 @@ class SourceCursor:
 
     @classmethod
     def from_meta(cls, meta: dict) -> "SourceCursor | None":
+        """Inverse of :meth:`as_meta`; ``None`` when the manifest has no
+        stored position (pre-cursor manifests)."""
         if "cursor_shard" not in meta or "cursor_offset" not in meta:
             return None
         return cls(int(meta["cursor_shard"]), int(meta["cursor_offset"]))

@@ -8,9 +8,14 @@ headline guarantee — a stream killed after ANY finalized micro-batch
 resumes from the manifest to byte-identical shards and posteriors.
 """
 
+import base64
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+from repro.core.drift import DriftMonitor, DriftPolicy
 from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
 from repro.core.online_label_model import (
     OnlineLabelModel,
@@ -504,6 +509,7 @@ class TestCrashResume:
         )
         assert tree_bytes(dfs, "/baseline") == before
 
+
     def test_resume_rejects_changed_batch_size(self, staged, lfs):
         dfs, shards, _, _ = staged
         runner = CheckpointedStream(
@@ -572,3 +578,205 @@ class TestCrashResume:
                 "/r",
                 end_model=NoiseAwareLogisticRegression(16),
             )
+
+
+# ----------------------------------------------------------------------
+# drift state in manifests
+# ----------------------------------------------------------------------
+class TestDriftCheckpointing:
+    BATCH = 64
+
+    #: Hair-trigger policy: tiny windows and a low threshold so alarms,
+    #: forced refits, and reference resets all fire *mid-stream* — the
+    #: crash matrix below then proves they replay deterministically.
+    POLICY = DriftPolicy(
+        reference_batches=1,
+        recent_batches=1,
+        threshold=1.0,
+        reactions=("log", "refit", "reset_reference"),
+    )
+
+    def _make_runner(self, dfs, lfs, root):
+        return CheckpointedStream(
+            dfs,
+            lfs,
+            root,
+            batch_size=self.BATCH,
+            online_config=ONLINE_CONFIG,
+            checkpoint_every=2,
+            drift=self.POLICY,
+        )
+
+    def test_manifest_round_trips_drift_record(self, dfs):
+        monitor = DriftMonitor(DriftPolicy())
+        for votes in (
+            np.array([[1, -1, 0]] * 8, dtype=np.int8),
+            np.array([[0, 1, 1]] * 8, dtype=np.int8),
+        ):
+            monitor.observe_batch(votes)
+        model = OnlineLabelModel(ONLINE_CONFIG)
+        model.observe(np.array([[1, 0, -1]] * 8, dtype=np.int8))
+        manager = CheckpointManager(dfs, "/run")
+        manager.write(
+            0, 8, model.state_dict(), drift_state=monitor.state_dict()
+        )
+        loaded = manager.latest()
+        assert loaded.drift_state is not None
+        restored = DriftMonitor(DriftPolicy()).load_state(loaded.drift_state)
+        assert restored.state_dict() == monitor.state_dict()
+        # Manifests written without a policy simply omit the record.
+        manager.write(1, 16, model.state_dict())
+        assert manager.latest().drift_state is None
+
+    def test_drift_kill_matrix_resumes_byte_identical(self, corpus, lfs):
+        """The crash-resume guarantee must survive active drift
+        reactions: forced refits and reference resets triggered by the
+        monitor are part of the replayed state, so a stream killed after
+        ANY batch still converges to byte-identical manifests/shards and
+        the same alarm history."""
+        from repro.dfs.filesystem import DistributedFileSystem
+
+        dfs = DistributedFileSystem()
+        shards = stage_examples(dfs, corpus, "/examples/e", num_shards=3)
+        baseline = self._make_runner(dfs, lfs, "/drift-baseline")
+        base_report = baseline.run(RecordStreamSource(dfs, shards))
+        reference = tree_bytes(dfs, "/drift-baseline")
+        # The hair-trigger policy must actually exercise the reactions.
+        assert baseline.drift_monitor.alarms > 0
+        assert baseline.drift_monitor.forced_refits > 0
+        assert (
+            base_report.stream.counters["drift/alarms"]
+            == baseline.drift_monitor.alarms
+        )
+
+        for kill_after in range(base_report.batches_finalized - 1):
+            root = f"/drift-killed-{kill_after}"
+            with pytest.raises(SimulatedCrash):
+                self._make_runner(dfs, lfs, root).run(
+                    RecordStreamSource(dfs, shards),
+                    fail_after_batch=kill_after,
+                )
+            resumed = self._make_runner(dfs, lfs, root)
+            resumed.run(RecordStreamSource(dfs, shards))
+            assert tree_bytes(dfs, root) == reference, (
+                f"divergent bytes after kill at batch {kill_after}"
+            )
+            assert (
+                resumed.drift_monitor.state_dict()
+                == baseline.drift_monitor.state_dict()
+            ), f"divergent monitor state after kill at batch {kill_after}"
+
+    def test_resume_without_policy_ignores_drift_record(self, corpus, lfs):
+        """Dropping the policy on resume is allowed: the manifest's
+        drift record is ignored and the stream continues undrifted
+        (the monitor-less configuration the pre-drift code ran)."""
+        from repro.dfs.filesystem import DistributedFileSystem
+
+        dfs = DistributedFileSystem()
+        shards = stage_examples(dfs, corpus, "/examples/e", num_shards=3)
+        root = "/drop-policy"
+        with pytest.raises(SimulatedCrash):
+            self._make_runner(dfs, lfs, root).run(
+                RecordStreamSource(dfs, shards), fail_after_batch=2
+            )
+        resumed = CheckpointedStream(
+            dfs,
+            lfs,
+            root,
+            batch_size=self.BATCH,
+            online_config=ONLINE_CONFIG,
+            checkpoint_every=2,
+        )
+        report = resumed.run(RecordStreamSource(dfs, shards))
+        assert resumed.drift_monitor is None
+        assert report.batches_finalized > 0
+        assert "drift/batches" not in report.stream.counters
+
+
+# ----------------------------------------------------------------------
+# pre-drift manifest compatibility (schema satellite)
+# ----------------------------------------------------------------------
+class TestPreDriftManifestCompat:
+    """A PR 3/4-era durable root must restore into the drift-aware code.
+
+    ``tests/fixtures/pre_drift_root.json`` was captured from the
+    pre-drift ``CheckpointedStream`` (before ``moment_weight``, pattern
+    weights, window segments, or drift records existed in manifests):
+    this module's ``make_corpus()``/``make_lfs()`` corpus staged into 3
+    shards, batch_size 64, checkpoint_every 2, killed by a
+    ``SimulatedCrash`` after batch 2 — so the root holds shards for
+    batches 0-2 and a schema-era manifest at batch 1, with batch 2's
+    shards orphaned.
+    """
+
+    FIXTURE = Path(__file__).parent / "fixtures" / "pre_drift_root.json"
+
+    @pytest.fixture()
+    def fixture_payload(self):
+        with open(self.FIXTURE) as handle:
+            return json.load(handle)
+
+    def test_pre_drift_root_resumes_with_cumulative_behavior(
+        self, corpus, lfs, fixture_payload
+    ):
+        from repro.dfs.filesystem import DistributedFileSystem
+
+        dfs = DistributedFileSystem()
+        # Re-stage the identical corpus (deterministic shard bytes) and
+        # transplant the captured pre-drift durable root.
+        shards = stage_examples(
+            dfs,
+            corpus,
+            fixture_payload["examples_root"],
+            num_shards=fixture_payload["num_shards"],
+        )
+        pre_existing = sorted(fixture_payload["files"])
+        for path, blob in fixture_payload["files"].items():
+            dfs.write_file(path, base64.b64decode(blob))
+
+        def runner(root):
+            return CheckpointedStream(
+                dfs,
+                lfs,
+                root,
+                batch_size=fixture_payload["batch_size"],
+                online_config=ONLINE_CONFIG,
+                checkpoint_every=fixture_payload["checkpoint_every"],
+            )
+
+        resumed = runner(fixture_payload["root"])
+        report = resumed.run(RecordStreamSource(dfs, shards))
+        assert report.resumed_from_batch == 1
+        # Orphan truncation applied to the era shards too.
+        assert len(report.orphan_shards_deleted) == 2
+
+        # The restored model runs in cumulative mode with the implicit
+        # pre-drift accounting: effective mass == observed count.
+        assert resumed.online.mode == "cumulative"
+        assert resumed.online.effective_examples == resumed.online.n_observed
+
+        # A fresh drift-aware run over the same stream must produce the
+        # same bytes everywhere except the era manifest itself (which
+        # legitimately lacks the schema-2 retention keys).
+        fresh = runner("/fresh")
+        fresh.run(RecordStreamSource(dfs, shards))
+        fresh_tree = tree_bytes(dfs, "/fresh")
+        resumed_tree = tree_bytes(dfs, fixture_payload["root"])
+        assert set(resumed_tree) == set(fresh_tree)
+        era_manifests = {
+            path[len(fixture_payload["root"]):]
+            for path in pre_existing
+            if "/checkpoints/" in path
+        }
+        for rel, blob in fresh_tree.items():
+            if rel in era_manifests:
+                continue
+            assert resumed_tree[rel] == blob, f"divergent bytes at {rel}"
+
+        # And the final models agree to the bit.
+        L = fresh.online.reconstruct_matrix()
+        assert np.array_equal(resumed.online.reconstruct_matrix(), L)
+        assert fresh.online.refit().predict_proba(L).tobytes() == (
+            resumed.online.refit().predict_proba(L).tobytes()
+        )
+

@@ -1,0 +1,121 @@
+"""Doc/code consistency gates for the documentation suite.
+
+``docs/OPERATIONS.md`` documents the operational surface — environment
+knobs, the streaming counter contract, benchmark artifact sections —
+inside HTML-comment marker blocks. These tests parse those blocks and
+diff them against the code, so the documentation cannot silently rot:
+adding a knob, a counter key, or a benchmark section without updating
+the doc fails tier-1 (and CI's docs job).
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OPERATIONS = REPO / "docs" / "OPERATIONS.md"
+
+#: Source trees scanned for REPRO_* environment-knob references.
+CODE_TREES = ["src", "benchmarks", "scripts", "examples"]
+
+KNOB_RE = re.compile(r"REPRO_[A-Z0-9_]+")
+#: Backticked counter keys: at least one slash, lowercase/underscore
+#: segments (matches `ingest/records`, not `OnlineLabelModel.refit`).
+COUNTER_KEY_RE = re.compile(r"`([a-z_]+(?:/[a-z_]+)+)`")
+BENCH_SECTION_RE = re.compile(r"`([a-z0-9_]+)`")
+UPDATE_JSON_RE = re.compile(r"update_bench_json\(\s*\n?\s*\"([a-z0-9_]+)\"")
+
+
+def marker_block(name: str) -> str:
+    """The text between ``<!-- {name}-start -->`` and its end marker."""
+    text = OPERATIONS.read_text(encoding="utf-8")
+    match = re.search(
+        rf"<!-- {name}-start -->(.*?)<!-- {name}-end -->", text, re.DOTALL
+    )
+    assert match, f"docs/OPERATIONS.md is missing the {name} marker block"
+    return match.group(1)
+
+
+def code_files():
+    for tree in CODE_TREES:
+        yield from sorted((REPO / tree).rglob("*.py"))
+
+
+class TestEnvKnobs:
+    def test_documented_knobs_match_code(self):
+        """Every REPRO_* knob in code is documented, and vice versa."""
+        in_code = set()
+        for path in code_files():
+            in_code.update(KNOB_RE.findall(path.read_text(encoding="utf-8")))
+        documented = set(KNOB_RE.findall(marker_block("env-knobs")))
+        assert documented == in_code, (
+            f"docs/OPERATIONS.md env knobs out of sync: "
+            f"undocumented={sorted(in_code - documented)}, "
+            f"stale={sorted(documented - in_code)}"
+        )
+
+
+class TestCounterContract:
+    def test_documented_keys_match_contract(self):
+        """The counter table equals COUNTER_CONTRACT + conditionals."""
+        from repro.streaming.pipeline import (
+            CONDITIONAL_COUNTER_KEYS,
+            COUNTER_CONTRACT,
+        )
+
+        documented = set(COUNTER_KEY_RE.findall(marker_block("counter-contract")))
+        contract = set(COUNTER_CONTRACT) | set(CONDITIONAL_COUNTER_KEYS)
+        assert documented == contract, (
+            f"docs/OPERATIONS.md counter contract out of sync: "
+            f"undocumented={sorted(contract - documented)}, "
+            f"stale={sorted(documented - contract)}"
+        )
+
+    def test_drift_keys_are_part_of_the_contract(self):
+        """The drift/* counter family is pinned as conditional keys."""
+        from repro.streaming.pipeline import CONDITIONAL_COUNTER_KEYS
+
+        drift_keys = {
+            key for key in CONDITIONAL_COUNTER_KEYS if key.startswith("drift/")
+        }
+        assert drift_keys == {
+            "drift/batches",
+            "drift/checks",
+            "drift/alarms",
+            "drift/forced_refits",
+            "drift/reference_resets",
+        }
+
+
+class TestBenchArtifacts:
+    def test_documented_sections_match_benchmarks(self):
+        """Every BENCH_perf.json section written by a benchmark is
+        listed in the artifact-schema doc, and nothing stale remains."""
+        written = set()
+        for path in sorted((REPO / "benchmarks").glob("*.py")):
+            written.update(
+                UPDATE_JSON_RE.findall(path.read_text(encoding="utf-8"))
+            )
+        assert written, "no update_bench_json calls found in benchmarks/"
+        documented = set(
+            BENCH_SECTION_RE.findall(marker_block("bench-sections"))
+        )
+        assert documented == written, (
+            f"docs/OPERATIONS.md bench sections out of sync: "
+            f"undocumented={sorted(written - documented)}, "
+            f"stale={sorted(documented - written)}"
+        )
+
+
+class TestMarkdownLinks:
+    def test_intra_repo_links_resolve(self):
+        """scripts/check_docs.py finds no broken markdown links."""
+        result = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, (
+            f"broken documentation links:\n{result.stdout}{result.stderr}"
+        )

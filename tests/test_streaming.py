@@ -23,6 +23,8 @@ from repro.experiments.harness import get_content_experiment
 from repro.lf.applier import apply_lfs_in_memory, stage_examples
 from repro.mapreduce.counters import Gauge
 from repro.streaming import (
+    DriftMonitor,
+    DriftPolicy,
     MemorySource,
     MicroBatchPipeline,
     RecordStreamSource,
@@ -318,22 +320,44 @@ class TestMicroBatchPipeline:
         )
 
         lfs, examples = product_pipeline
+        # A hair-trigger monitor makes every drift/* key appear: with
+        # one-batch windows and a ~zero threshold, every check alarms
+        # and fires both counted reactions.
+        monitor = DriftMonitor(
+            DriftPolicy(
+                reference_batches=1,
+                recent_batches=1,
+                threshold=1e-9,
+                reactions=("log", "refit", "reset_reference"),
+            ),
+            refit_callback=lambda: None,
+        )
         report = MicroBatchPipeline(
             lfs,
             batch_size=32,
             max_resident_batches=1,
             on_batch=lambda *_: time.sleep(0.002),  # force backpressure
+            drift_monitor=monitor,
         ).run(MemorySource(examples, fresh=True))
         for key in COUNTER_CONTRACT:
             assert key in report.counters, f"missing documented key {key}"
-        # This run configured a sink and stalled ingest, so every
-        # conditional key except the multi-consumer one must appear too.
+        # This run configured a sink, stalled ingest, and monitored
+        # drift, so every conditional key except the multi-consumer one
+        # must appear too.
         for key in CONDITIONAL_COUNTER_KEYS:
             if key == "ingest/encode_us":
                 continue  # multi-consumer only; covered in test_parallel
             assert key in report.counters, f"missing conditional key {key}"
         # Backpressure time lands in ingest/wait_us, never queue/wait_us.
         assert report.counters["ingest/wait_us"] > 0
+        # The drift counters mirror the monitor's own tallies.
+        assert report.counters["drift/batches"] == report.batches
+        assert report.counters["drift/alarms"] == monitor.alarms
+        assert report.counters["drift/forced_refits"] == monitor.forced_refits
+        assert (
+            report.counters["drift/reference_resets"]
+            == monitor.reference_resets
+        )
 
     def test_empty_source(self, product_pipeline):
         lfs, _ = product_pipeline
