@@ -1,0 +1,162 @@
+"""Label-serving tier benchmark + regression gates.
+
+Runs :func:`repro.experiments.serving_eval.run_serving_eval` — the load
+generator that drives the micro-batching :class:`LabelServer` through
+the full deployment story (degraded empty root -> deploy -> measured
+concurrent load -> mid-load hot swap) — and enforces the serving
+contract:
+
+* **correctness (every scale)**: every served posterior is bitwise
+  equal to an offline :class:`SamplingFreeLabelModel` fit of the served
+  snapshot's stream prefix, including across the mid-load generation
+  swap; the degraded phase answers every request with the class prior;
+  exactly two swaps happen (deploy + hot swap) and both generations
+  serve traffic; no request times out and admission control's pending
+  bound is never exceeded;
+* **latency** (full regime: n >= 20k requests on hosts exposing at
+  least ``CLIENTS`` CPUs): p50 <= ``P50_CEILING_MS`` and
+  p99 <= ``P99_CEILING_MS``;
+* **sustained QPS** (same regime): at least ``QPS_FLOOR`` requests/s
+  absolute and ``QPS_RATIO_FLOOR`` x the in-memory labeling-only rate —
+  the serving stack (queueing, batching, wakeups) may not eat more than
+  its budgeted share of the raw kernel throughput.
+
+Rows land in the ``label_serving`` section of ``BENCH_perf.json``, are
+appended to ``BENCH_history.jsonl``, and the trailing-median trend
+check flags QPS regressions a hard floor would miss (warns by default,
+fails with ``REPRO_ENFORCE_TREND=1``).
+
+Environment knobs: ``REPRO_SCALE`` (dataset scale) and ``REPRO_BENCH_N``
+(request count; CI smoke uses a small value).
+"""
+
+import os
+
+from repro.experiments import perf
+from repro.experiments.serving_eval import run_serving_eval
+from repro.parallel import default_workers
+
+from benchmarks.conftest import emit
+
+#: Request count for the serving load (the corpus is capped at the same
+#: size; requests round-robin over it).
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "20000"))
+
+#: Concurrent load-generator threads (``REPRO_WORKERS`` overrides via
+#: ``default_workers``; clamped to >= 2 so the hot swap always happens
+#: under genuinely concurrent load).
+CLIENTS = max(2, default_workers(4))
+
+#: Full-regime latency ceilings. The flush deadline is 2ms, so p50 is
+#: dominated by one flush window plus one kernel pass; p99 absorbs
+#: refit-free swap pauses and GC.
+P50_CEILING_MS = 50.0
+P99_CEILING_MS = 250.0
+
+#: Full-regime sustained-QPS floors: absolute, and relative to the
+#: in-memory labeling-only rate measured in the same run.
+QPS_FLOOR = 500.0
+QPS_RATIO_FLOOR = 0.02
+
+
+def _trend_gate(section: str, metric: str, match: dict) -> None:
+    """Warn on trend regressions; fail only when explicitly enforced.
+
+    ``match`` pins the comparison to same-configuration history rows so
+    smoke runs (small N) and full runs never share a trend line.
+    """
+    flag = perf.check_history_trend(section, metric, match=match)
+    if flag is None:
+        return
+    message = (
+        f"TREND REGRESSION: {section}.{metric} = {flag['latest']:.1f} is "
+        f"{100 * (1 - flag['ratio']):.0f}% below the trailing median "
+        f"{flag['trailing_median']:.1f} (window {flag['window']})"
+    )
+    print(f"[{message}]")
+    if os.environ.get("REPRO_ENFORCE_TREND") == "1":
+        raise AssertionError(message)
+
+
+def test_label_serving(benchmark, scale):
+    """The serving gate: bitwise correctness, hot swap, latency, QPS."""
+    result = benchmark.pedantic(
+        lambda: run_serving_eval(
+            scale=scale, n_requests=BENCH_N, clients=CLIENTS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    row = result.rows[0]
+    perf.update_bench_json("label_serving", {"scale": scale, **row})
+    perf.append_bench_history("label_serving", {"scale": scale, **row})
+    _trend_gate(
+        "label_serving",
+        "qps",
+        {
+            "scale": scale,
+            "examples": row["examples"],
+            "clients": row["clients"],
+        },
+    )
+
+    # Correctness holds at every scale: the ARCHITECTURE invariant.
+    assert row["posteriors_bitwise_equal"], (
+        f"{row['mismatched_posteriors']} served posteriors diverged "
+        f"bitwise from the snapshot's offline fit"
+    )
+    assert row["degraded_requests"] == row["degraded_expected"], (
+        "empty-root requests were not all answered degraded"
+    )
+    assert row["degraded_prior_ok"], (
+        "degraded responses diverged from the class prior"
+    )
+    assert row["degraded_in_load"] == 0, (
+        f"{row['degraded_in_load']} measured requests were served "
+        f"degraded after generation 1 activated"
+    )
+    # Deployment story: one swap activating generation 1, one hot swap
+    # to generation 2 under load, both generations serving traffic.
+    assert row["swaps"] == 2, f"expected 2 swaps, saw {row['swaps']}"
+    assert row["swap_mid_load"], (
+        "the mid-load hot swap did not serve traffic from both "
+        f"generations (gen1={row['served_generation_1']}, "
+        f"gen2={row['served_generation_2']})"
+    )
+    assert row["active_generation"] == 2
+    # Operational bounds hold at every scale.
+    assert row["timeouts"] == 0, f"{row['timeouts']} requests timed out"
+    assert row["peak_pending"] <= row["max_pending"], (
+        f"admission control exceeded its bound: {row['peak_pending']} "
+        f"pending > {row['max_pending']}"
+    )
+    assert row["batches"] <= row["requests"], (
+        "more micro-batches than requests — batching is not coalescing"
+    )
+
+    cpus = os.cpu_count() or 1
+    if row["examples"] >= 20_000 and cpus >= row["clients"]:
+        assert row["p50_ms"] <= P50_CEILING_MS, (
+            f"serving p50 regressed: {row['p50_ms']:.2f}ms > "
+            f"{P50_CEILING_MS}ms at n={row['examples']}"
+        )
+        assert row["p99_ms"] <= P99_CEILING_MS, (
+            f"serving p99 regressed: {row['p99_ms']:.2f}ms > "
+            f"{P99_CEILING_MS}ms at n={row['examples']}"
+        )
+        assert row["qps"] >= QPS_FLOOR, (
+            f"serving throughput regressed: {row['qps']:.0f} < "
+            f"{QPS_FLOOR:.0f} requests/s at n={row['examples']}"
+        )
+        assert row["qps_ratio"] >= QPS_RATIO_FLOOR, (
+            f"serving overhead regressed: QPS is only "
+            f"{row['qps_ratio']:.3f}x the labeling-only rate "
+            f"(floor {QPS_RATIO_FLOOR}x)"
+        )
+    else:
+        # Smoke regime: starved of CPUs (clients + batcher + watcher on
+        # fewer cores than clients) or a tiny corpus, the flush window
+        # dominates; only require the service to make real progress.
+        assert row["qps"] > 0
+        assert row["p99_ms"] < 60_000

@@ -33,6 +33,7 @@ TARGETS = ["src", "tests", "benchmarks", "examples", "scripts"]
 DOCSTRING_ENFORCED = [
     "src/repro/streaming",
     "src/repro/parallel",
+    "src/repro/serving",
     "src/repro/core/online_label_model.py",
     "src/repro/core/drift.py",
 ]

@@ -1,0 +1,339 @@
+"""Load-generator harness for the low-latency label-serving tier.
+
+:func:`run_serving_eval` drives the full deployment story the serving
+runbook (``docs/SERVING.md``) documents, in one measured pass:
+
+1. a :class:`~repro.streaming.checkpoint.CheckpointedStream` labels the
+   staged corpus, checkpointing every micro-batch — producing the
+   bit-exact manifests that are the serving tier's deployment artifacts;
+2. a :class:`~repro.serving.registry.CheckpointModelRegistry` +
+   :class:`~repro.serving.service.LabelServer` pair serves an initially
+   *empty* durable root: the first requests are answered degraded (class
+   prior, ``degraded=True``) — the no-generation regime;
+3. a mid-stream manifest is copied into the serving root; the watcher
+   hot-swaps generation 1 in and the client threads start the measured
+   load (round-robin over the corpus, per-request latency recorded);
+4. halfway through the load, the *final* manifest is deployed — the
+   watcher swaps to generation 2 under full concurrent load, without
+   dropping or erring a single in-flight request;
+5. every served posterior is compared **bitwise** against an offline
+   :class:`~repro.core.label_model.SamplingFreeLabelModel` fit of the
+   corresponding snapshot's stream prefix — the ARCHITECTURE invariant
+   ("served posteriors are bitwise equal to the snapshot's offline
+   fit"), enforced across both generations and the swap boundary.
+
+``benchmarks/bench_serving.py`` turns the row into hard gates: p50/p99
+latency ceilings and a sustained-QPS floor at the full n >= 20k regime,
+plus the bitwise/degradation/hot-swap invariants at every scale.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED
+from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.core.online_label_model import OnlineLabelModelConfig
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.records import iter_record_blobs
+from repro.experiments.harness import ExperimentResult, get_content_experiment
+from repro.lf.applier import apply_lfs_in_memory, stage_examples
+from repro.serving import CheckpointModelRegistry, LabelServer, ServeConfig
+from repro.streaming import CheckpointedStream, RecordStreamSource
+from repro.types import Example
+
+__all__ = ["run_serving_eval", "DEFAULT_SERVE_TIMEOUT_MS"]
+
+#: Per-request deadline used by the load generator. Generous: the gate
+#: asserts zero timeouts, so the deadline must only catch a wedged
+#: server, not a slow CI runner.
+DEFAULT_SERVE_TIMEOUT_MS = 60_000.0
+
+
+def run_serving_eval(
+    scale: str | None = None,
+    seed: int = DEFAULT_SEED,
+    n_requests: int = 20_000,
+    batch_size: int = 512,
+    num_shards: int = 8,
+    clients: int = 4,
+    max_batch: int = 256,
+    flush_ms: float = 2.0,
+    degraded_requests: int = 64,
+) -> ExperimentResult:
+    """Serve a checkpointed stream under concurrent load; measure + verify.
+
+    Args:
+        scale: Dataset scale (``None`` reads ``REPRO_SCALE``).
+        seed: Shared seed for the stream, references, and serving.
+        n_requests: Measured requests issued by the client threads
+            (round-robin over the staged corpus; the corpus itself is
+            capped at ``min(n_requests, pool)`` examples).
+        batch_size: Stream micro-batch size used to *produce* the
+            checkpoint manifests (shrunk automatically so tiny smoke
+            corpora still yield at least two manifests).
+        num_shards: Shards the corpus is staged into.
+        clients: Concurrent client threads issuing requests.
+        max_batch: Serving-side micro-batch bound
+            (:class:`~repro.serving.service.ServeConfig`).
+        flush_ms: Serving-side flush deadline in milliseconds.
+        degraded_requests: Requests issued against the empty serving
+            root before any manifest is deployed (the degraded phase).
+
+    Returns:
+        An :class:`ExperimentResult` whose single row carries the
+        latency distribution, sustained QPS, counter snapshot, and the
+        bitwise-equivalence verdicts for both generations.
+
+    Raises:
+        RuntimeError: If the first deployed manifest never activates
+            (watcher wedged — should be impossible).
+    """
+    exp = get_content_experiment("product", scale, seed)
+    pool = exp.dataset.unlabeled
+    corpus_n = min(n_requests, len(pool))
+    lfs = exp.lfs
+    online_config = OnlineLabelModelConfig(
+        base=LabelModelConfig(seed=seed), seed=seed
+    )
+
+    # ------------------------------------------------------------------
+    # produce deployment artifacts: a checkpoint-per-batch stream
+    # ------------------------------------------------------------------
+    dfs = DistributedFileSystem()
+    shard_paths = stage_examples(
+        dfs, pool[:corpus_n], "/serving/examples", num_shards=num_shards
+    )
+    # At least two manifests (a mid-stream one and the final one) are
+    # needed for the hot-swap arm; shrink the stream's batch size on
+    # tiny smoke corpora.
+    stream_batch = max(1, min(batch_size, corpus_n // 2))
+    stream = CheckpointedStream(
+        dfs,
+        lfs,
+        "/serving/stream",
+        batch_size=stream_batch,
+        online_config=online_config,
+        checkpoint_every=1,
+        write_labels=False,
+    )
+    stream.run(RecordStreamSource(dfs, shard_paths))
+    manifests = stream.manager.manifest_paths()
+    mid_path = manifests[max(0, len(manifests) // 2 - 1)]
+    final_path = manifests[-1]
+
+    # ------------------------------------------------------------------
+    # offline references, in *stream* order (shards interleave the pool)
+    # ------------------------------------------------------------------
+    decoded = [
+        Example.from_record(record)
+        for record in iter_record_blobs(dfs, shard_paths)
+    ]
+    L_full = apply_lfs_in_memory(lfs, decoded)
+    row_of = {ex.example_id: i for i, ex in enumerate(decoded)}
+
+    # In-memory labeling-only rate: the request path's compute kernel,
+    # without serving overhead — context for the QPS ratio.
+    from repro.experiments.perf import _clone_examples
+
+    cloned = _clone_examples(decoded)
+    label_only_start = time.perf_counter()
+    apply_lfs_in_memory(lfs, cloned)
+    label_only_wall = time.perf_counter() - label_only_start
+    label_only_eps = (
+        corpus_n / label_only_wall if label_only_wall > 0 else float("inf")
+    )
+
+    def offline_reference(manifest_path: str) -> np.ndarray:
+        """Offline fit of the snapshot's stream prefix, scoring all rows."""
+        checkpoint = stream.manager.load(manifest_path)
+        model = SamplingFreeLabelModel(LabelModelConfig(seed=seed))
+        model.fit(L_full.matrix[: checkpoint.cursor])
+        return model.predict_proba(L_full.matrix)
+
+    expected = {
+        1: offline_reference(mid_path),
+        2: offline_reference(final_path),
+    }
+
+    # ------------------------------------------------------------------
+    # serve: degraded phase -> generation 1 -> mid-load swap to 2
+    # ------------------------------------------------------------------
+    live_root = "/serving/live"
+    registry = CheckpointModelRegistry(
+        dfs, live_root, online_config=online_config
+    )
+    config = ServeConfig(
+        max_batch=max_batch,
+        flush_ms=flush_ms,
+        timeout_ms=DEFAULT_SERVE_TIMEOUT_MS,
+        max_pending=max(1024, 4 * max_batch),
+        poll_ms=5.0,
+    )
+    server = LabelServer(registry, lfs, config)
+    abstain_prior = registry.abstain_prior()
+
+    def deploy(manifest_path: str) -> None:
+        """Copy a manifest into the live root (a release, DFS-style)."""
+        name = manifest_path.rsplit("/", 1)[1]
+        dfs.write_file(
+            f"{live_root}/checkpoints/{name}", dfs.read_file(manifest_path)
+        )
+
+    degraded_served = 0
+    degraded_prior_ok = True
+    swap_at = max(1, n_requests // 2)
+    issued_lock = threading.Lock()
+    issued = [0]
+    barrier = threading.Barrier(clients)
+    per_client: list[list] = [[] for _ in range(clients)]
+
+    def client(c: int) -> None:
+        """One load-generator thread: its share of the request stream."""
+        barrier.wait()
+        for i in range(c, n_requests, clients):
+            example = pool[i % corpus_n]
+            request_start = time.perf_counter()
+            result = server.predict(example)
+            latency_ms = 1e3 * (time.perf_counter() - request_start)
+            with issued_lock:
+                issued[0] += 1
+                if issued[0] == swap_at:
+                    # The mid-load hot swap: deploy the final manifest
+                    # while every client keeps hammering.
+                    deploy(final_path)
+            per_client[c].append(
+                (example.example_id, result, latency_ms)
+            )
+
+    with server:
+        # Phase A: empty root — every response degrades to the prior.
+        for i in range(degraded_requests):
+            result = server.predict(pool[i % corpus_n])
+            if result.degraded:
+                degraded_served += 1
+                if result.posterior != abstain_prior:
+                    degraded_prior_ok = False
+        # Deploy generation 1 and wait for the watcher to swap it in.
+        deploy(mid_path)
+        activate_deadline = time.perf_counter() + 30.0
+        while registry.active() is None:
+            if time.perf_counter() > activate_deadline:
+                raise RuntimeError(
+                    "generation 1 never activated after deploy"
+                )
+            time.sleep(0.002)
+        # Phase B: the measured load, with the swap at the halfway mark.
+        threads = [
+            threading.Thread(target=client, args=(c,), name=f"client-{c}")
+            for c in range(clients)
+        ]
+        load_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        load_wall = time.perf_counter() - load_start
+        report = server.report()
+
+    # ------------------------------------------------------------------
+    # verdicts: bitwise posteriors per generation, swap under load
+    # ------------------------------------------------------------------
+    answered = [entry for part in per_client for entry in part]
+    latencies = np.array([entry[2] for entry in answered])
+    served_by_generation: dict[int | None, int] = {}
+    mismatched = 0
+    degraded_in_load = 0
+    for example_id, result, _latency in answered:
+        served_by_generation[result.generation] = (
+            served_by_generation.get(result.generation, 0) + 1
+        )
+        if result.generation is None:
+            degraded_in_load += 1
+            continue
+        if result.posterior != expected[result.generation][row_of[example_id]]:
+            mismatched += 1
+    served_gen1 = served_by_generation.get(1, 0)
+    served_gen2 = served_by_generation.get(2, 0)
+    swap_mid_load = served_gen1 > 0 and served_gen2 > 0
+    bitwise_equal = mismatched == 0 and degraded_in_load == 0
+
+    qps = n_requests / load_wall if load_wall > 0 else float("inf")
+    p50_ms = float(np.percentile(latencies, 50)) if len(latencies) else 0.0
+    p99_ms = float(np.percentile(latencies, 99)) if len(latencies) else 0.0
+    counters = report["counters"]
+    batches = counters.get("serving/batches", 0)
+    mean_batch = (
+        counters.get("serving/requests", 0) / batches if batches else 0.0
+    )
+
+    lines = [
+        "Label serving: micro-batched requests over hot-swapped checkpoint "
+        f"generations ({n_requests:,} requests, {clients} clients, "
+        f"corpus {corpus_n:,} x {len(lfs)} LFs, max_batch {max_batch}, "
+        f"flush {flush_ms}ms)",
+        "",
+        f"{'sustained QPS':<34} {qps:>12,.0f} requests/s",
+        f"{'in-memory labeling only':<34} {label_only_eps:>12,.0f} examples/s",
+        f"{'QPS / labeling-only rate':<34} {qps / label_only_eps:>12.2f}x",
+        f"{'p50 / p99 latency':<34} {p50_ms:>7.2f}ms / {p99_ms:.2f}ms",
+        f"{'mean micro-batch size':<34} {mean_batch:>12.1f}",
+        f"{'degraded phase (empty root)':<34} {degraded_served:>12,} "
+        f"requests at prior {abstain_prior:.2f}",
+        f"{'generation swaps':<34} "
+        f"{counters.get('serving/swaps', 0):>12,}",
+        f"{'served by gen 1 / gen 2':<34} {served_gen1:>7,} / "
+        f"{served_gen2:,} (swap under load: {swap_mid_load})",
+        f"{'posteriors bitwise == offline fit':<34} "
+        f"{str(bitwise_equal):>12} ({mismatched} mismatched)",
+        f"{'timeouts / backpressure waits':<34} "
+        f"{counters.get('serving/timeouts', 0):>7,} / "
+        f"{counters.get('serving/backpressure_waits', 0):,}",
+        f"{'peak pending requests':<34} {report['peak_pending']:>12,} "
+        f"(bound {report['max_pending']:,})",
+    ]
+    rows = [
+        {
+            "examples": n_requests,
+            "requests": n_requests,
+            "corpus_examples": corpus_n,
+            "lfs": len(lfs),
+            "clients": clients,
+            "max_batch": max_batch,
+            "flush_ms": flush_ms,
+            "stream_batch_size": stream_batch,
+            "manifests_written": len(manifests),
+            "qps": qps,
+            "label_only_examples_per_second": label_only_eps,
+            "qps_ratio": qps / label_only_eps if label_only_eps else 0.0,
+            "p50_ms": p50_ms,
+            "p99_ms": p99_ms,
+            "wall_seconds": load_wall,
+            "mean_batch_size": mean_batch,
+            "batches": batches,
+            "degraded_requests": degraded_served,
+            "degraded_expected": degraded_requests,
+            "degraded_prior_ok": degraded_prior_ok,
+            "degraded_in_load": degraded_in_load,
+            "abstain_prior": abstain_prior,
+            "swaps": counters.get("serving/swaps", 0),
+            "active_generation": report["active_generation"],
+            "served_generation_1": served_gen1,
+            "served_generation_2": served_gen2,
+            "swap_mid_load": swap_mid_load,
+            "posteriors_bitwise_equal": bitwise_equal,
+            "mismatched_posteriors": mismatched,
+            "timeouts": counters.get("serving/timeouts", 0),
+            "backpressure_waits": counters.get(
+                "serving/backpressure_waits", 0
+            ),
+            "peak_pending": report["peak_pending"],
+            "max_pending": report["max_pending"],
+            "cpu_count": os.cpu_count(),
+        }
+    ]
+    return ExperimentResult("label_serving", "\n".join(lines), rows)

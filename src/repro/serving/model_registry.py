@@ -45,7 +45,19 @@ class ModelRegistry:
         blessed: bool = False,
         notes: str = "",
     ) -> ModelVersion:
-        """Register a new version; returns it with its assigned number."""
+        """Register a new version; returns it with its assigned number.
+
+        Args:
+            name: Model name (the registry namespaces versions by it).
+            model: The trained model object to stage.
+            featurizer: The featurizer the model was trained with.
+            metrics: Evaluation metrics recorded with the version.
+            blessed: Whether the version is immediately deployable.
+            notes: Free-form provenance notes.
+
+        Returns:
+            The staged :class:`ModelVersion` with its version number.
+        """
         with self._lock:
             history = self._versions.setdefault(name, [])
             version = ModelVersion(
@@ -61,7 +73,15 @@ class ModelRegistry:
             return version
 
     def bless(self, name: str, version: int) -> None:
-        """Mark a staged version as deployable."""
+        """Mark a staged version as deployable.
+
+        Args:
+            name: Model name.
+            version: Version number returned by :meth:`stage`.
+
+        Raises:
+            KeyError: If no such version was staged.
+        """
         entry = self._find(name, version)
         entry.blessed = True
 
@@ -75,15 +95,33 @@ class ModelRegistry:
         return None
 
     def latest(self, name: str) -> ModelVersion | None:
+        """Newest staged version regardless of blessing, or ``None``.
+
+        Args:
+            name: Model name.
+
+        Returns:
+            The most recently staged :class:`ModelVersion`, or ``None``
+            when nothing has been staged under ``name``.
+        """
         with self._lock:
             history = self._versions.get(name, [])
             return history[-1] if history else None
 
     def versions(self, name: str) -> list[ModelVersion]:
+        """All staged versions of a model, oldest first.
+
+        Args:
+            name: Model name.
+
+        Returns:
+            A copy of the version history (possibly empty).
+        """
         with self._lock:
             return list(self._versions.get(name, []))
 
     def model_names(self) -> list[str]:
+        """Sorted names of every model with at least one staged version."""
         with self._lock:
             return sorted(self._versions)
 

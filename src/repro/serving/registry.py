@@ -1,0 +1,225 @@
+"""Checkpoint-backed serving registry with atomic generation hot-swap.
+
+The streaming tier (PR 3) already publishes bit-exact deployable
+artifacts: every :class:`~repro.streaming.checkpoint.CheckpointManager`
+manifest snapshots the online label model (and optionally the FTRL end
+model) with write-then-rename atomicity. This module closes the loop the
+paper describes for TFX — "once trained, we use TFX to automatically
+stage it for serving" — by treating the newest manifest under a durable
+root as the unit of deployment:
+
+* :class:`CheckpointModelRegistry` watches the root and, when a newer
+  manifest appears, loads it, rebuilds the offline-exact label model via
+  :meth:`~repro.core.online_label_model.OnlineLabelModel.refit`, and
+  swaps the new :class:`ServingGeneration` in with a single reference
+  assignment — readers never block and never observe a half-loaded
+  generation;
+* every swap increments the ``serving/swaps`` counter and advances
+  ``serving/active_generation``, so operators can watch deployments
+  through the same :class:`~repro.mapreduce.counters.CounterSet`
+  surface as every other subsystem;
+* generations are immutable (frozen dataclass): an in-flight request
+  batch that snapshotted generation N keeps scoring against N even if
+  N+1 activates mid-batch — the no-torn-reads contract the serving
+  tests hammer.
+
+Because cumulative-mode ``refit`` reproduces the offline
+:class:`~repro.core.label_model.SamplingFreeLabelModel` fit on the
+stream prefix exactly, posteriors served from a generation are bitwise
+equal to an offline fit of the snapshot's prefix (the ARCHITECTURE
+invariant the serving benchmark enforces).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.label_model import SamplingFreeLabelModel
+from repro.core.online_label_model import (
+    OnlineLabelModel,
+    OnlineLabelModelConfig,
+)
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.mapreduce.counters import CounterSet
+from repro.streaming.checkpoint import Checkpoint, CheckpointManager
+
+__all__ = ["ServingGeneration", "CheckpointModelRegistry"]
+
+
+@dataclass(frozen=True)
+class ServingGeneration:
+    """One immutable deployed snapshot, built from a single manifest.
+
+    A generation is the unit of hot swap: the registry builds it fully
+    off the request path, then publishes it with one atomic reference
+    assignment. Requests that captured an older generation finish
+    against that object — nothing here mutates after construction.
+    """
+
+    generation: int
+    """Monotonic deployment number (1 = first manifest ever served)."""
+    manifest_path: str
+    """The durable manifest this generation was loaded from."""
+    batch: int
+    """Last finalized stream batch covered by the snapshot."""
+    cursor: int
+    """Examples consumed by the stream up to and including ``batch``."""
+    lf_names: tuple[str, ...]
+    """LF suite recorded in the manifest (empty for legacy manifests)."""
+    label_model: SamplingFreeLabelModel
+    """Offline-exact generative model (post-``refit``), scoring-ready."""
+    end_model: object | None
+    """Restored end model, or ``None`` when the manifest carries no
+    end-model state (or no factory was configured)."""
+    n_patterns: int
+    """Distinct vote patterns retained by the snapshot's pattern log."""
+
+
+class CheckpointModelRegistry:
+    """Loads and hot-swaps serving generations from checkpoint manifests.
+
+    The registry polls (via :meth:`refresh`, typically driven by a
+    :class:`~repro.serving.service.LabelServer` watcher thread) the
+    durable root written by a
+    :class:`~repro.streaming.checkpoint.CheckpointedStream`. When the
+    newest manifest path differs from the active generation's, it loads
+    the manifest, restores the online label model with the *same*
+    configuration the stream used, refits to offline-exact parameters,
+    and atomically swaps the active generation.
+    """
+
+    def __init__(
+        self,
+        dfs: DistributedFileSystem,
+        root: str,
+        online_config: OnlineLabelModelConfig | None = None,
+        end_model_factory: Callable[[], object] | None = None,
+        counters: CounterSet | None = None,
+    ) -> None:
+        """Point a registry at a durable root.
+
+        Args:
+            dfs: Filesystem holding the checkpoint manifests.
+            root: Durable root (manifests under ``{root}/checkpoints``).
+            online_config: Label-model configuration, which must match
+                the configuration the stream that wrote the manifests
+                used — snapshot state only restores into an identically
+                configured model. Defaults to the stream default.
+            end_model_factory: Zero-argument callable returning a fresh
+                end model exposing ``load_state``; called only for
+                manifests that carry end-model state. ``None`` leaves
+                end models undeployed.
+            counters: Shared counter surface; a private
+                :class:`~repro.mapreduce.counters.CounterSet` is created
+                when omitted.
+        """
+        self.manager = CheckpointManager(dfs, root)
+        self.online_config = online_config or OnlineLabelModelConfig()
+        self.end_model_factory = end_model_factory
+        self.counters = counters if counters is not None else CounterSet()
+        self._swap_lock = threading.Lock()
+        self._active: ServingGeneration | None = None
+
+    # ------------------------------------------------------------------
+    # read side (request path — lock-free)
+    # ------------------------------------------------------------------
+    def active(self) -> ServingGeneration | None:
+        """The currently deployed generation, or ``None`` before the
+        first manifest loads (the degraded regime).
+
+        Lock-free: a single reference read, safe from any thread. The
+        returned object is immutable — callers score whole request
+        batches against one captured generation.
+        """
+        return self._active
+
+    @property
+    def generation(self) -> int:
+        """Active generation number; 0 while no generation is deployed."""
+        active = self._active
+        return 0 if active is None else active.generation
+
+    def abstain_prior(self) -> float:
+        """The degraded-mode posterior: the configured class prior.
+
+        Mirrors :meth:`CheckpointedStream._label_proba`'s fallback —
+        before any parameters exist, every example carries only the
+        prior ``P(y = +1)`` of the configured label model.
+        """
+        return float(
+            SamplingFreeLabelModel(
+                replace(self.online_config.base)
+            ).class_prior()
+        )
+
+    # ------------------------------------------------------------------
+    # write side (watcher / deploy path)
+    # ------------------------------------------------------------------
+    def refresh(self) -> ServingGeneration | None:
+        """Deploy the newest manifest if it differs from the active one.
+
+        Returns:
+            The active generation after the check — the freshly swapped
+            one when a newer manifest was found, the unchanged current
+            one otherwise, or ``None`` when the root has no manifest
+            yet.
+
+        Raises:
+            ValueError: If the newest manifest decodes but has the wrong
+                schema or no label-model state; the active generation is
+                left untouched.
+            repro.dfs.records.RecordCorruption: If the newest manifest's
+                record framing is torn; the active generation is left
+                untouched. (The server's watcher counts both cases as
+                ``serving/refresh_errors`` and keeps serving.)
+        """
+        with self._swap_lock:
+            path = self.manager.latest_path()
+            if path is None:
+                return self._active
+            active = self._active
+            if active is not None and active.manifest_path == path:
+                return active
+            generation = self._load_generation(
+                self.manager.load(path),
+                1 if active is None else active.generation + 1,
+            )
+            # The swap: one reference assignment. In-flight batches that
+            # captured the previous generation keep scoring against it.
+            self._active = generation
+            self.counters.increment("serving/swaps")
+            self.counters.increment(
+                "serving/active_generation",
+                generation.generation
+                - (0 if active is None else active.generation),
+            )
+            return generation
+
+    def _load_generation(
+        self, checkpoint: Checkpoint, number: int
+    ) -> ServingGeneration:
+        """Rebuild scoring-ready models from one decoded manifest."""
+        online = OnlineLabelModel(self.online_config)
+        online.load_state(checkpoint.label_model_state)
+        # Offline-exact parameters: cumulative-mode refit reproduces the
+        # offline fit of the snapshot's stream prefix bit for bit.
+        label_model = online.refit()
+        end_model = None
+        if (
+            checkpoint.end_model_state is not None
+            and self.end_model_factory is not None
+        ):
+            end_model = self.end_model_factory()
+            end_model.load_state(checkpoint.end_model_state)
+        return ServingGeneration(
+            generation=number,
+            manifest_path=checkpoint.path,
+            batch=checkpoint.batch,
+            cursor=checkpoint.cursor,
+            lf_names=tuple(checkpoint.meta.get("lf_names") or ()),
+            label_model=label_model,
+            end_model=end_model,
+            n_patterns=online.n_patterns,
+        )

@@ -40,6 +40,7 @@ class ServingStats:
 
     @property
     def mean_latency_ms(self) -> float:
+        """Mean virtual per-request latency; 0 before any request."""
         if self.requests == 0:
             return 0.0
         return self.total_latency_ms / self.requests
@@ -61,6 +62,15 @@ class ProductionServer:
         model_name: str,
         sla_ms: float = 10.0,
     ) -> None:
+        """Bind a server to one model name in a blessing registry.
+
+        Args:
+            registry: The versioned registry to deploy from.
+            model_name: Which model's blessed versions to serve.
+            sla_ms: Virtual per-request latency budget; requests whose
+                accounted feature + inference cost exceeds it count as
+                SLA violations.
+        """
         self.registry = registry
         self.model_name = model_name
         self.sla_ms = sla_ms
@@ -71,7 +81,16 @@ class ProductionServer:
     # deployment
     # ------------------------------------------------------------------
     def refresh(self) -> ModelVersion:
-        """Load the newest blessed version (called on deploy/update)."""
+        """Load the newest blessed version (called on deploy/update).
+
+        Returns:
+            The loaded :class:`ModelVersion`.
+
+        Raises:
+            LookupError: If no blessed version exists.
+            NonServableAccessError: If the blessed version's featurizer
+                reads the non-servable view.
+        """
         version = self.registry.latest_blessed(self.model_name)
         if version is None:
             raise LookupError(
@@ -88,6 +107,7 @@ class ProductionServer:
 
     @property
     def loaded_version(self) -> int | None:
+        """Version number currently loaded, or ``None`` pre-refresh."""
         return self._loaded.version if self._loaded else None
 
     # ------------------------------------------------------------------

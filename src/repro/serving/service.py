@@ -1,0 +1,498 @@
+"""Low-latency label serving: micro-batched requests over hot-swapped
+generations.
+
+The offline pipeline labels millions of examples per batch; an online
+label service sees one example per request. Scoring each request alone
+would abandon the vectorized ``label_batch`` kernels and the fused
+token-match executor that make the offline path fast, so
+:class:`LabelServer` *micro-batches*: concurrent requests queue behind a
+single batcher thread that drains up to ``max_batch`` of them (or
+whatever arrived within the ``flush_ms`` deadline), labels the block
+through :func:`repro.lf.applier.label_example_block`, and scores all
+posteriors with one vectorized
+:meth:`~repro.core.label_model.SamplingFreeLabelModel.predict_proba`
+call against the generation captured once per batch.
+
+Operational contract:
+
+* **admission control** — a residency-permit semaphore bounds pending
+  requests at ``max_pending`` (the streaming pipeline's ``Gauge``
+  pattern measures the actual peak); submitters past the bound wait,
+  counted as ``serving/backpressure_waits``;
+* **graceful degradation** — while the registry has no generation, every
+  request is answered (never erred) with the configured class prior and
+  ``degraded=True``, counted as ``serving/degraded``;
+* **bounded latency** — :meth:`LabelServer.predict` waits at most
+  ``timeout_ms`` for its result; expiry raises :class:`ServeTimeout`
+  and increments ``serving/timeouts``;
+* **hot swap safety** — the batcher captures the active generation once
+  per micro-batch, so every response in a batch is scored by exactly
+  one immutable generation even if the watcher swaps mid-batch;
+* **bitwise reproducibility** — vote blocks are zero-padded to a
+  multiple of 32 rows before scoring so BLAS takes the same vectorized
+  row-block path as offline full-matrix scoring; served posteriors are
+  bitwise equal to the generation's offline fit regardless of how
+  requests happened to coalesce into batches.
+
+Every knob reads its default from a serving environment variable
+documented in ``docs/OPERATIONS.md``; the counter families above are
+pinned by :data:`SERVING_COUNTER_CONTRACT` /
+:data:`SERVING_CONDITIONAL_COUNTER_KEYS` and enforced against the
+documentation by ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dfs.records import RecordCorruption
+from repro.lf.applier import (
+    fused_lf_columns,
+    label_example_block,
+    start_lf_resources,
+    stop_lf_resources,
+)
+from repro.lf.base import AbstractLabelingFunction
+from repro.mapreduce.counters import Gauge
+from repro.serving.registry import CheckpointModelRegistry, ServingGeneration
+from repro.types import Example
+
+__all__ = [
+    "ServeConfig",
+    "ServeResult",
+    "ServeTimeout",
+    "LabelServer",
+    "SERVING_COUNTER_CONTRACT",
+    "SERVING_CONDITIONAL_COUNTER_KEYS",
+]
+
+#: Counter keys every served load reports (request path basics).
+SERVING_COUNTER_CONTRACT = (
+    "serving/requests",
+    "serving/batches",
+)
+
+#: Counter keys that appear only when their condition occurs: a manifest
+#: deploys (swaps / active generation), the registry is empty (degraded),
+#: a request outlives its deadline (timeouts), admission control stalls a
+#: submitter (backpressure), or a refresh hits an unreadable manifest.
+SERVING_CONDITIONAL_COUNTER_KEYS = (
+    "serving/swaps",
+    "serving/active_generation",
+    "serving/degraded",
+    "serving/timeouts",
+    "serving/backpressure_waits",
+    "serving/refresh_errors",
+)
+
+#: Vote blocks are zero-padded to a multiple of this many rows before
+#: ``predict_proba``. BLAS gemv kernels process rows in small vector
+#: blocks and fall back to a scalar loop for the remainder, which can
+#: round the last ULP differently than the vectorized path; padding
+#: keeps every *real* row on the vectorized path, making served
+#: posteriors bitwise equal to offline full-matrix scoring for any
+#: micro-batch composition. Zero rows are valid votes (all-abstain) and
+#: are sliced off after scoring.
+_SCORE_PAD_ROWS = 32
+
+
+class ServeTimeout(TimeoutError):
+    """A request's result did not arrive within its deadline."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for :class:`LabelServer`.
+
+    Each field's default comes from its serving environment variable
+    via :meth:`from_env` (explicit constructor arguments win).
+    """
+
+    max_batch: int = 256
+    """Maximum requests coalesced into one scoring micro-batch
+    (``REPRO_SERVE_MAX_BATCH``)."""
+    flush_ms: float = 2.0
+    """How long the batcher waits for more requests after the first one
+    arrives before flushing a partial batch (``REPRO_SERVE_FLUSH_MS``)."""
+    timeout_ms: float = 5000.0
+    """Default per-request result deadline (``REPRO_SERVE_TIMEOUT_MS``)."""
+    max_pending: int = 1024
+    """Admission-control bound on resident (queued + scoring) requests
+    (``REPRO_SERVE_MAX_PENDING``)."""
+    poll_ms: float = 25.0
+    """Watcher cadence for polling the registry's durable root for new
+    manifests (``REPRO_SERVE_POLL_MS``)."""
+
+    def __post_init__(self) -> None:
+        """Validate bounds.
+
+        Raises:
+            ValueError: On a non-positive ``max_batch``, ``max_pending``,
+                ``timeout_ms``, or ``poll_ms``, or a negative
+                ``flush_ms``.
+        """
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.flush_ms < 0:
+            raise ValueError(f"flush_ms must be >= 0, got {self.flush_ms}")
+        if self.timeout_ms <= 0:
+            raise ValueError(
+                f"timeout_ms must be > 0, got {self.timeout_ms}"
+            )
+        if self.poll_ms <= 0:
+            raise ValueError(f"poll_ms must be > 0, got {self.poll_ms}")
+
+    @classmethod
+    def from_env(cls) -> "ServeConfig":
+        """Build a config from the serving environment knobs."""
+        return cls(
+            max_batch=int(os.environ.get("REPRO_SERVE_MAX_BATCH", "256")),
+            flush_ms=float(os.environ.get("REPRO_SERVE_FLUSH_MS", "2.0")),
+            timeout_ms=float(
+                os.environ.get("REPRO_SERVE_TIMEOUT_MS", "5000")
+            ),
+            max_pending=int(
+                os.environ.get("REPRO_SERVE_MAX_PENDING", "1024")
+            ),
+            poll_ms=float(os.environ.get("REPRO_SERVE_POLL_MS", "25")),
+        )
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One answered request."""
+
+    example_id: str
+    """The request's example id."""
+    posterior: float
+    """Served ``P(y = +1)`` — the generation's offline-exact posterior,
+    or the class prior in the degraded regime."""
+    generation: int | None
+    """Generation that scored the request; ``None`` when degraded."""
+    degraded: bool
+    """True when no generation was deployed and the prior was served."""
+    fired: int
+    """Labeling functions that voted non-abstain on the example
+    (0 in the degraded regime — LFs are not executed)."""
+    latency_ms: float
+    """Submit-to-resolve latency measured by the server."""
+
+
+class _Pending:
+    """One queued request: the example plus its completion signal."""
+
+    __slots__ = ("example", "event", "result", "enqueued")
+
+    def __init__(self, example: Example) -> None:
+        self.example = example
+        self.event = threading.Event()
+        self.result: ServeResult | None = None
+        self.enqueued = time.perf_counter()
+
+
+class LabelServer:
+    """Micro-batching label service over a checkpoint-backed registry.
+
+    Lifecycle: construct, :meth:`start` (spawns the batcher thread and,
+    by default, a registry watcher), serve via :meth:`predict` from any
+    number of client threads, :meth:`stop` (drains the queue, resolves
+    every pending request, joins the threads). Also usable as a context
+    manager.
+    """
+
+    def __init__(
+        self,
+        registry: CheckpointModelRegistry,
+        lfs: list[AbstractLabelingFunction],
+        config: ServeConfig | None = None,
+    ) -> None:
+        """Wire a server to its registry and LF suite.
+
+        Args:
+            registry: Source of scoring generations; the server shares
+                its :class:`~repro.mapreduce.counters.CounterSet` so the
+                whole tier reports one counter surface.
+            lfs: Labeling-function suite — must match the suite the
+                manifests' stream ran, or votes (and posteriors) are
+                meaningless.
+            config: Serving knobs; ``None`` reads the environment via
+                :meth:`ServeConfig.from_env`.
+
+        Raises:
+            ValueError: If ``lfs`` is empty.
+        """
+        if not lfs:
+            raise ValueError("LabelServer needs at least one labeling function")
+        self.registry = registry
+        self.lfs = list(lfs)
+        self.config = config or ServeConfig.from_env()
+        self.counters = registry.counters
+        self.resident = Gauge()
+        self._fused_cols = fused_lf_columns(self.lfs)
+        self._abstain_prior = registry.abstain_prior()
+        self._queue: deque[_Pending] = deque()
+        self._wake = threading.Condition(threading.Lock())
+        self._permits = threading.Semaphore(self.config.max_pending)
+        self._stop = threading.Event()
+        self._batcher: threading.Thread | None = None
+        self._watcher: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, watch: bool = True) -> "LabelServer":
+        """Start serving: LF resources, batcher, optional watcher.
+
+        Performs one synchronous :meth:`CheckpointModelRegistry.refresh`
+        so a root that already holds a manifest serves it from the very
+        first request.
+
+        Args:
+            watch: Also spawn the watcher thread that polls the durable
+                root every ``poll_ms`` for new manifests (hot swap).
+                Pass ``False`` to drive :meth:`refresh
+                <CheckpointModelRegistry.refresh>` manually.
+
+        Returns:
+            ``self``, for chaining.
+
+        Raises:
+            RuntimeError: If the server was already started.
+        """
+        if self._batcher is not None:
+            raise RuntimeError("LabelServer is already started")
+        start_lf_resources(self.lfs)
+        self.registry.refresh()
+        self._stop.clear()
+        self._batcher = threading.Thread(
+            target=self._run_batches, name="label-serve-batcher", daemon=True
+        )
+        self._batcher.start()
+        if watch:
+            self._watcher = threading.Thread(
+                target=self._watch, name="label-serve-watcher", daemon=True
+            )
+            self._watcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving: drain the queue, resolve everything, join.
+
+        Idempotent; requests submitted after ``stop`` raise
+        ``RuntimeError``.
+        """
+        if self._batcher is None:
+            return
+        self._stop.set()
+        with self._wake:
+            self._wake.notify_all()
+        self._batcher.join()
+        if self._watcher is not None:
+            self._watcher.join()
+        self._batcher = None
+        self._watcher = None
+        stop_lf_resources(self.lfs)
+
+    def __enter__(self) -> "LabelServer":
+        """Start the server on context entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop (and drain) the server on context exit."""
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # request path (any client thread)
+    # ------------------------------------------------------------------
+    def predict(
+        self, example: Example, timeout_ms: float | None = None
+    ) -> ServeResult:
+        """Serve one example, blocking until its micro-batch resolves.
+
+        Args:
+            example: The example to label.
+            timeout_ms: Per-call result deadline; ``None`` uses the
+                configured ``timeout_ms``.
+
+        Returns:
+            The :class:`ServeResult` (degraded when no generation is
+            deployed — never an error).
+
+        Raises:
+            ServeTimeout: If the result missed the deadline (counted as
+                ``serving/timeouts``; the request still resolves later
+                and its permit is released by the batcher).
+            RuntimeError: If the server is stopped.
+        """
+        pending = self._submit(example)
+        budget = (
+            self.config.timeout_ms if timeout_ms is None else timeout_ms
+        )
+        if not pending.event.wait(budget / 1000.0):
+            self.counters.increment("serving/timeouts")
+            raise ServeTimeout(
+                f"no result for {example.example_id!r} within {budget}ms"
+            )
+        assert pending.result is not None
+        return pending.result
+
+    def _submit(self, example: Example) -> _Pending:
+        """Admit and enqueue one request; returns its pending handle."""
+        if self._stop.is_set() or self._batcher is None:
+            raise RuntimeError("LabelServer is not running")
+        # Admission control: non-blocking fast path, counted wait
+        # otherwise — the streaming pipeline's residency-permit idiom.
+        if not self._permits.acquire(blocking=False):
+            self.counters.increment("serving/backpressure_waits")
+            self._permits.acquire()
+        self.resident.add(1)
+        pending = _Pending(example)
+        with self._wake:
+            self._queue.append(pending)
+            self._wake.notify()
+        self.counters.increment("serving/requests")
+        return pending
+
+    # ------------------------------------------------------------------
+    # batcher thread
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> list[_Pending] | None:
+        """Block for the next micro-batch; ``None`` means shut down.
+
+        The first request opens a ``flush_ms`` window; the batch closes
+        when the window expires or ``max_batch`` requests coalesced,
+        whichever comes first.
+        """
+        with self._wake:
+            while not self._queue:
+                if self._stop.is_set():
+                    return None
+                self._wake.wait(0.05)
+            batch = [self._queue.popleft()]
+            deadline = time.perf_counter() + self.config.flush_ms / 1000.0
+            while len(batch) < self.config.max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or self._stop.is_set():
+                    break
+                self._wake.wait(remaining)
+            return batch
+
+    def _run_batches(self) -> None:
+        """Batcher main loop: take, score, resolve, until drained."""
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self._score_batch(batch)
+
+    def _score_batch(self, batch: list[_Pending]) -> None:
+        """Label + score one micro-batch against one captured generation."""
+        # One generation snapshot per batch: every response in this
+        # batch is scored by the same immutable object, even if the
+        # watcher swaps mid-batch.
+        generation = self.registry.active()
+        if generation is None:
+            self.counters.increment("serving/degraded", len(batch))
+            for pending in batch:
+                self._resolve(
+                    pending,
+                    posterior=self._abstain_prior,
+                    generation=None,
+                    degraded=True,
+                    fired=0,
+                )
+        else:
+            examples = [pending.example for pending in batch]
+            votes = label_example_block(self.lfs, examples, self._fused_cols)
+            posteriors = self._score_votes(generation, votes)
+            fired = np.abs(votes).sum(axis=1)
+            for pending, posterior, n_fired in zip(batch, posteriors, fired):
+                self._resolve(
+                    pending,
+                    posterior=float(posterior),
+                    generation=generation.generation,
+                    degraded=False,
+                    fired=int(n_fired),
+                )
+        self.counters.increment("serving/batches")
+
+    @staticmethod
+    def _score_votes(
+        generation: ServingGeneration, votes: np.ndarray
+    ) -> np.ndarray:
+        """Posterior block, padded for bitwise batch-size independence."""
+        n = votes.shape[0]
+        pad = (-n) % _SCORE_PAD_ROWS
+        if pad:
+            votes = np.vstack(
+                [votes, np.zeros((pad, votes.shape[1]), dtype=votes.dtype)]
+            )
+        return generation.label_model.predict_proba(votes)[:n]
+
+    def _resolve(
+        self,
+        pending: _Pending,
+        posterior: float,
+        generation: int | None,
+        degraded: bool,
+        fired: int,
+    ) -> None:
+        """Publish one result, wake its waiter, release its residency."""
+        pending.result = ServeResult(
+            example_id=pending.example.example_id,
+            posterior=posterior,
+            generation=generation,
+            degraded=degraded,
+            fired=fired,
+            latency_ms=1e3 * (time.perf_counter() - pending.enqueued),
+        )
+        pending.event.set()
+        self.resident.subtract(1)
+        self._permits.release()
+
+    # ------------------------------------------------------------------
+    # watcher thread
+    # ------------------------------------------------------------------
+    def _watch(self) -> None:
+        """Poll the durable root for new manifests until stopped."""
+        interval = self.config.poll_ms / 1000.0
+        while not self._stop.wait(interval):
+            try:
+                self.registry.refresh()
+            except (ValueError, RecordCorruption):
+                # An unreadable newest manifest (foreign schema, torn
+                # external copy) must not kill serving: keep the active
+                # generation and surface the problem as a counter.
+                self.counters.increment("serving/refresh_errors")
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        """Snapshot the serving tier's operational state.
+
+        Returns:
+            Counters (``serving/*``), the admission gauge's current and
+            peak residency, the configured bound, and the active
+            generation number.
+        """
+        return {
+            "counters": self.counters.as_dict(),
+            "pending": self.resident.current,
+            "peak_pending": self.resident.peak,
+            "max_pending": self.config.max_pending,
+            "active_generation": self.registry.generation,
+        }

@@ -70,6 +70,23 @@ class TFXPipeline:
         require_improvement: bool = False,
         enforce_servable: bool = True,
     ) -> None:
+        """Configure the component chain.
+
+        Args:
+            name: Model name used for registry staging.
+            featurizer: Transform component (servable view only, unless
+                ``enforce_servable`` is disabled for tests).
+            registry: Pusher target.
+            trainer: Trainer selection + configuration.
+            blessing_threshold: Minimum eval F1 for blessing.
+            require_improvement: Also require beating the incumbent
+                blessed version's F1.
+            enforce_servable: Reject non-servable featurizers.
+
+        Raises:
+            NonServableAccessError: If the featurizer reads the
+                non-servable view while ``enforce_servable`` is on.
+        """
         self.name = name
         self.featurizer = featurizer
         self.registry = registry
@@ -93,7 +110,23 @@ class TFXPipeline:
         eval_examples: Sequence[Example] | None = None,
         eval_labels: np.ndarray | None = None,
     ) -> PipelineRun:
-        """Train, evaluate, and stage a model."""
+        """Train, evaluate, and stage a model.
+
+        Args:
+            train_examples: Training examples (ExampleGen).
+            soft_labels: Probabilistic labels from the generative model.
+            eval_examples: Optional labeled eval split; omitting it
+                auto-blesses (no Evaluator configured).
+            eval_labels: Hard labels for ``eval_examples``.
+
+        Returns:
+            The :class:`PipelineRun` with the staged version and its
+            blessing decision.
+
+        Raises:
+            ValueError: On an example/label count mismatch or an
+                unknown trainer kind.
+        """
         start = time.perf_counter()
         soft = np.asarray(soft_labels, dtype=np.float64)
         if len(soft) != len(train_examples):

@@ -88,6 +88,46 @@ class TestCounterContract:
         }
 
 
+class TestServingCounterContract:
+    def test_documented_keys_match_contract(self):
+        """The serving counter table equals the serving contract."""
+        from repro.serving import (
+            SERVING_CONDITIONAL_COUNTER_KEYS,
+            SERVING_COUNTER_CONTRACT,
+        )
+
+        documented = set(
+            COUNTER_KEY_RE.findall(marker_block("serving-counter-contract"))
+        )
+        contract = set(SERVING_COUNTER_CONTRACT) | set(
+            SERVING_CONDITIONAL_COUNTER_KEYS
+        )
+        assert documented == contract, (
+            f"docs/OPERATIONS.md serving counter contract out of sync: "
+            f"undocumented={sorted(contract - documented)}, "
+            f"stale={sorted(documented - contract)}"
+        )
+
+    def test_contract_is_disjoint_from_streaming(self):
+        """Serving keys live in their own family: no collisions with the
+        streaming pipeline's contract."""
+        from repro.serving import (
+            SERVING_CONDITIONAL_COUNTER_KEYS,
+            SERVING_COUNTER_CONTRACT,
+        )
+        from repro.streaming.pipeline import (
+            CONDITIONAL_COUNTER_KEYS,
+            COUNTER_CONTRACT,
+        )
+
+        serving = set(SERVING_COUNTER_CONTRACT) | set(
+            SERVING_CONDITIONAL_COUNTER_KEYS
+        )
+        streaming = set(COUNTER_CONTRACT) | set(CONDITIONAL_COUNTER_KEYS)
+        assert not serving & streaming
+        assert all(key.startswith("serving/") for key in serving)
+
+
 class TestBenchArtifacts:
     def test_documented_sections_match_benchmarks(self):
         """Every BENCH_perf.json section written by a benchmark is

@@ -1,0 +1,543 @@
+"""Tests for the low-latency label-serving tier.
+
+Covers the checkpoint-backed registry (empty-root degradation, first
+deploy, idempotent refresh, unreadable manifests, legacy pre-drift
+manifests), the micro-batching server (coalescing, admission control,
+timeouts, lifecycle), and the headline guarantees: a manifest appearing
+mid-request hot-swaps in without dropping traffic, a swap under
+concurrent load never produces a torn read, and every served posterior
+is bitwise equal to an offline fit of the served snapshot's stream
+prefix — including for a stream that was killed mid-run.
+"""
+
+import base64
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.records import RecordCorruption, iter_record_blobs
+from repro.lf.applier import apply_lfs_in_memory, stage_examples
+from repro.serving import (
+    CheckpointModelRegistry,
+    LabelServer,
+    ServeConfig,
+    ServeTimeout,
+)
+from repro.streaming import (
+    CheckpointedStream,
+    RecordStreamSource,
+    SimulatedCrash,
+)
+from repro.types import Example
+
+from tests.test_checkpoint import ONLINE_CONFIG, make_corpus, make_lfs
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus()
+
+
+@pytest.fixture(scope="module")
+def lfs():
+    return make_lfs()
+
+
+@pytest.fixture(scope="module")
+def checkpointed(corpus, lfs):
+    """A checkpoint-per-batch stream over the corpus, plus its offline
+    reference: the vote matrix in *stream* order and an id -> row map."""
+    dfs = DistributedFileSystem()
+    shards = stage_examples(dfs, corpus, "/t/examples", num_shards=3)
+    stream = CheckpointedStream(
+        dfs,
+        lfs,
+        "/t/stream",
+        batch_size=50,
+        online_config=ONLINE_CONFIG,
+        checkpoint_every=1,
+        write_labels=False,
+    )
+    stream.run(RecordStreamSource(dfs, shards))
+    decoded = [
+        Example.from_record(record)
+        for record in iter_record_blobs(dfs, shards)
+    ]
+    L = apply_lfs_in_memory(lfs, decoded)
+    return {
+        "dfs": dfs,
+        "stream": stream,
+        "manifests": stream.manager.manifest_paths(),
+        "decoded": decoded,
+        "matrix": L.matrix,
+        "row_of": {ex.example_id: i for i, ex in enumerate(decoded)},
+    }
+
+
+def offline_posteriors(ctx, manifest_path):
+    """Offline fit of the snapshot's stream prefix, scoring all rows."""
+    checkpoint = ctx["stream"].manager.load(manifest_path)
+    model = SamplingFreeLabelModel(
+        LabelModelConfig(n_steps=200, seed=0)
+    )
+    model.fit(ctx["matrix"][: checkpoint.cursor])
+    return model.predict_proba(ctx["matrix"])
+
+
+def deploy(dfs, manifest_path, live_root):
+    """Copy a manifest into a serving root (a release)."""
+    name = manifest_path.rsplit("/", 1)[1]
+    dfs.write_file(
+        f"{live_root}/checkpoints/{name}", dfs.read_file(manifest_path)
+    )
+
+
+def make_registry(dfs, root):
+    return CheckpointModelRegistry(dfs, root, online_config=ONLINE_CONFIG)
+
+
+def wait_for_generation(registry, number, deadline_s=10.0):
+    import time
+
+    deadline = time.perf_counter() + deadline_s
+    while registry.generation < number:
+        assert time.perf_counter() < deadline, (
+            f"generation {number} never activated"
+        )
+        time.sleep(0.002)
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+class TestServeConfig:
+    def test_defaults(self):
+        config = ServeConfig()
+        assert config.max_batch == 256
+        assert config.flush_ms == 2.0
+        assert config.timeout_ms == 5000.0
+        assert config.max_pending == 1024
+        assert config.poll_ms == 25.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"max_batch": 0},
+            {"max_pending": 0},
+            {"flush_ms": -1.0},
+            {"timeout_ms": 0.0},
+            {"poll_ms": 0.0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            ServeConfig(**bad)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "64")
+        monkeypatch.setenv("REPRO_SERVE_FLUSH_MS", "7.5")
+        monkeypatch.setenv("REPRO_SERVE_TIMEOUT_MS", "1000")
+        monkeypatch.setenv("REPRO_SERVE_MAX_PENDING", "33")
+        monkeypatch.setenv("REPRO_SERVE_POLL_MS", "3")
+        config = ServeConfig.from_env()
+        assert config.max_batch == 64
+        assert config.flush_ms == 7.5
+        assert config.timeout_ms == 1000.0
+        assert config.max_pending == 33
+        assert config.poll_ms == 3.0
+
+    def test_constructor_defaults_to_env(self, monkeypatch, checkpointed):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "16")
+        registry = make_registry(DistributedFileSystem(), "/cfg/live")
+        server = LabelServer(registry, make_lfs())
+        assert server.config.max_batch == 16
+
+    def test_server_requires_lfs(self):
+        registry = make_registry(DistributedFileSystem(), "/cfg/live")
+        with pytest.raises(ValueError, match="labeling function"):
+            LabelServer(registry, [])
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+class TestCheckpointModelRegistry:
+    def test_empty_root(self, checkpointed):
+        registry = make_registry(checkpointed["dfs"], "/reg/empty")
+        assert registry.refresh() is None
+        assert registry.active() is None
+        assert registry.generation == 0
+        assert registry.counters.as_dict() == {}
+        assert registry.abstain_prior() == 0.5
+
+    def test_first_deploy_and_idempotent_refresh(self, checkpointed):
+        dfs = checkpointed["dfs"]
+        registry = make_registry(dfs, "/reg/one")
+        deploy(dfs, checkpointed["manifests"][0], "/reg/one")
+        first = registry.refresh()
+        assert first is not None and first.generation == 1
+        assert first.batch == 0
+        assert first.cursor == 50
+        assert first.lf_names == tuple(lf.name for lf in make_lfs())
+        # Same newest manifest -> same generation object, no counters.
+        again = registry.refresh()
+        assert again is first
+        counters = registry.counters.as_dict()
+        assert counters["serving/swaps"] == 1
+        assert counters["serving/active_generation"] == 1
+
+    def test_newer_manifest_swaps(self, checkpointed):
+        dfs = checkpointed["dfs"]
+        registry = make_registry(dfs, "/reg/two")
+        deploy(dfs, checkpointed["manifests"][0], "/reg/two")
+        first = registry.refresh()
+        deploy(dfs, checkpointed["manifests"][-1], "/reg/two")
+        second = registry.refresh()
+        assert second.generation == 2
+        assert second.cursor > first.cursor
+        counters = registry.counters.as_dict()
+        assert counters["serving/swaps"] == 2
+        assert counters["serving/active_generation"] == 2
+        # The old generation object is untouched (immutable snapshot).
+        assert first.generation == 1
+
+    def test_unreadable_manifest_keeps_active(self, checkpointed):
+        dfs = checkpointed["dfs"]
+        registry = make_registry(dfs, "/reg/bad")
+        deploy(dfs, checkpointed["manifests"][0], "/reg/bad")
+        good = registry.refresh()
+        # A torn newest manifest must raise, not half-deploy.
+        dfs.write_file(
+            registry.manager.manifest_path(99), b"definitely not a manifest"
+        )
+        with pytest.raises(RecordCorruption):
+            registry.refresh()
+        assert registry.active() is good
+        assert registry.counters.as_dict()["serving/swaps"] == 1
+
+    def test_watcher_survives_torn_manifest(self, checkpointed, lfs):
+        import time
+
+        dfs = checkpointed["dfs"]
+        root = "/reg/watchbad"
+        registry = make_registry(dfs, root)
+        deploy(dfs, checkpointed["manifests"][0], root)
+        config = ServeConfig(flush_ms=0.5, poll_ms=2.0)
+        with LabelServer(registry, lfs, config) as server:
+            dfs.write_file(
+                registry.manager.manifest_path(99), b"torn bytes"
+            )
+            deadline = time.perf_counter() + 5.0
+            while "serving/refresh_errors" not in server.counters.as_dict():
+                assert time.perf_counter() < deadline
+                time.sleep(0.002)
+            # Still serving generation 1 despite the torn deploy.
+            result = server.predict(checkpointed["decoded"][0])
+            assert result.generation == 1 and not result.degraded
+
+    def test_generation_posteriors_match_offline_fit(self, checkpointed):
+        dfs = checkpointed["dfs"]
+        registry = make_registry(dfs, "/reg/exact")
+        mid = checkpointed["manifests"][3]
+        deploy(dfs, mid, "/reg/exact")
+        generation = registry.refresh()
+        expected = offline_posteriors(checkpointed, mid)
+        served = generation.label_model.predict_proba(
+            checkpointed["matrix"]
+        )
+        assert np.array_equal(served, expected)
+
+
+class TestPreDriftManifestServing:
+    """A legacy (pre-drift schema) manifest is still a deployable."""
+
+    FIXTURE = Path(__file__).parent / "fixtures" / "pre_drift_root.json"
+
+    def test_legacy_manifest_serves(self, lfs):
+        with open(self.FIXTURE) as handle:
+            payload = json.load(handle)
+        dfs = DistributedFileSystem()
+        shards = stage_examples(
+            dfs,
+            make_corpus(),
+            payload["examples_root"],
+            num_shards=payload["num_shards"],
+        )
+        for path, blob in payload["files"].items():
+            dfs.write_file(path, base64.b64decode(blob))
+
+        registry = make_registry(dfs, payload["root"])
+        generation = registry.refresh()
+        assert generation is not None and generation.generation == 1
+        assert generation.lf_names == tuple(lf.name for lf in lfs)
+
+        decoded = [
+            Example.from_record(record)
+            for record in iter_record_blobs(dfs, shards)
+        ]
+        matrix = apply_lfs_in_memory(lfs, decoded).matrix
+        offline = SamplingFreeLabelModel(
+            LabelModelConfig(n_steps=200, seed=0)
+        )
+        offline.fit(matrix[: generation.cursor])
+        assert np.array_equal(
+            generation.label_model.predict_proba(matrix),
+            offline.predict_proba(matrix),
+        )
+
+
+# ---------------------------------------------------------------------------
+# server
+# ---------------------------------------------------------------------------
+class TestDegradedServing:
+    def test_empty_root_serves_prior(self, checkpointed, lfs):
+        registry = make_registry(checkpointed["dfs"], "/srv/empty")
+        with LabelServer(registry, lfs, ServeConfig(flush_ms=0.5)) as server:
+            results = [
+                server.predict(checkpointed["decoded"][i]) for i in range(5)
+            ]
+        for result in results:
+            assert result.degraded
+            assert result.generation is None
+            assert result.posterior == 0.5
+            assert result.fired == 0
+        counters = server.counters.as_dict()
+        assert counters["serving/degraded"] == 5
+        assert counters["serving/requests"] == 5
+
+    def test_manifest_appearing_mid_request_hot_swaps(
+        self, checkpointed, lfs
+    ):
+        dfs = checkpointed["dfs"]
+        root = "/srv/midstream"
+        registry = make_registry(dfs, root)
+        mid = checkpointed["manifests"][3]
+        expected = offline_posteriors(checkpointed, mid)
+        config = ServeConfig(flush_ms=0.5, poll_ms=2.0)
+        with LabelServer(registry, lfs, config) as server:
+            degraded = server.predict(checkpointed["decoded"][0])
+            assert degraded.degraded and degraded.posterior == 0.5
+            deploy(dfs, mid, root)
+            wait_for_generation(registry, 1)
+            # Sequential single-example requests: each is its own
+            # micro-batch, and must still be bitwise offline-exact.
+            for i in range(10):
+                example = checkpointed["decoded"][i]
+                result = server.predict(example)
+                assert not result.degraded
+                assert result.generation == 1
+                assert (
+                    result.posterior
+                    == expected[checkpointed["row_of"][example.example_id]]
+                )
+                assert result.latency_ms >= 0.0
+        assert server.report()["counters"]["serving/swaps"] == 1
+
+
+class TestHotSwapUnderLoad:
+    def test_no_torn_reads_across_mid_load_swap(self, checkpointed, lfs):
+        dfs = checkpointed["dfs"]
+        root = "/srv/hammer"
+        registry = make_registry(dfs, root)
+        mid, final = checkpointed["manifests"][2], checkpointed["manifests"][-1]
+        expected = {
+            1: offline_posteriors(checkpointed, mid),
+            2: offline_posteriors(checkpointed, final),
+        }
+        deploy(dfs, mid, root)
+
+        clients, per_client = 4, 150
+        swap_at = clients * per_client // 2
+        issued = [0]
+        issued_lock = threading.Lock()
+        barrier = threading.Barrier(clients)
+        collected = [[] for _ in range(clients)]
+        config = ServeConfig(flush_ms=1.0, poll_ms=2.0)
+        server = LabelServer(registry, lfs, config)
+
+        def hammer(c):
+            barrier.wait()
+            for i in range(per_client):
+                example = checkpointed["decoded"][
+                    (c * per_client + i) % len(checkpointed["decoded"])
+                ]
+                result = server.predict(example)
+                with issued_lock:
+                    issued[0] += 1
+                    if issued[0] == swap_at:
+                        deploy(dfs, final, root)
+                collected[c].append((example.example_id, result))
+
+        with server:
+            wait_for_generation(registry, 1)
+            threads = [
+                threading.Thread(target=hammer, args=(c,))
+                for c in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            report = server.report()
+
+        served = {1: 0, 2: 0}
+        for example_id, result in (
+            entry for part in collected for entry in part
+        ):
+            assert not result.degraded
+            served[result.generation] += 1
+            # The torn-read check: the posterior must match the offline
+            # fit of exactly the generation the result claims served it.
+            assert (
+                result.posterior
+                == expected[result.generation][
+                    checkpointed["row_of"][example_id]
+                ]
+            )
+        assert served[1] > 0 and served[2] > 0, served
+        counters = report["counters"]
+        assert counters["serving/swaps"] == 2
+        assert counters["serving/requests"] == clients * per_client
+        assert report["active_generation"] == 2
+        assert report["pending"] == 0
+
+
+class TestMicroBatchingAndAdmission:
+    def test_concurrent_requests_coalesce(self, checkpointed, lfs):
+        dfs = checkpointed["dfs"]
+        root = "/srv/coalesce"
+        registry = make_registry(dfs, root)
+        deploy(dfs, checkpointed["manifests"][0], root)
+        config = ServeConfig(flush_ms=20.0, max_batch=64)
+        clients, per_client = 4, 25
+        barrier = threading.Barrier(clients)
+
+        def spam(c):
+            barrier.wait()
+            for i in range(per_client):
+                server.predict(checkpointed["decoded"][i])
+
+        with LabelServer(registry, lfs, config) as server:
+            threads = [
+                threading.Thread(target=spam, args=(c,))
+                for c in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            report = server.report()
+        counters = report["counters"]
+        assert counters["serving/requests"] == clients * per_client
+        # Coalescing: far fewer kernel invocations than requests.
+        assert counters["serving/batches"] < clients * per_client
+        assert report["peak_pending"] <= report["max_pending"]
+        assert report["peak_pending"] >= 2
+
+    def test_admission_control_counts_backpressure(self, checkpointed, lfs):
+        dfs = checkpointed["dfs"]
+        root = "/srv/backpressure"
+        registry = make_registry(dfs, root)
+        deploy(dfs, checkpointed["manifests"][0], root)
+        # One permit + a long flush window: the second submitter must
+        # wait for the first batch to resolve, and is counted.
+        config = ServeConfig(flush_ms=50.0, max_pending=1)
+        barrier = threading.Barrier(2)
+
+        def spam():
+            barrier.wait()
+            for i in range(5):
+                server.predict(checkpointed["decoded"][i])
+
+        with LabelServer(registry, lfs, config) as server:
+            threads = [threading.Thread(target=spam) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            report = server.report()
+        assert report["peak_pending"] <= 1
+        assert report["counters"]["serving/backpressure_waits"] > 0
+
+
+class TestTimeoutsAndLifecycle:
+    def test_timeout_raises_and_counts(self, checkpointed, lfs):
+        import time
+
+        registry = make_registry(checkpointed["dfs"], "/srv/slow")
+        server = LabelServer(registry, lfs, ServeConfig(flush_ms=0.5))
+        inner = server._score_batch
+
+        def stalled(batch):
+            time.sleep(0.2)
+            inner(batch)
+
+        server._score_batch = stalled
+        with server:
+            with pytest.raises(ServeTimeout):
+                server.predict(checkpointed["decoded"][0], timeout_ms=20)
+        assert server.counters.as_dict()["serving/timeouts"] == 1
+
+    def test_predict_requires_running_server(self, checkpointed, lfs):
+        registry = make_registry(checkpointed["dfs"], "/srv/lifecycle")
+        server = LabelServer(registry, lfs)
+        with pytest.raises(RuntimeError):
+            server.predict(checkpointed["decoded"][0])
+        server.start(watch=False)
+        with pytest.raises(RuntimeError):
+            server.start()
+        server.stop()
+        server.stop()  # idempotent
+        with pytest.raises(RuntimeError):
+            server.predict(checkpointed["decoded"][0])
+
+
+# ---------------------------------------------------------------------------
+# end to end: crash-interrupted stream -> served bitwise
+# ---------------------------------------------------------------------------
+class TestCrashedStreamServesExactly:
+    def test_mid_run_checkpoint_served_bitwise(self, corpus, lfs):
+        dfs = DistributedFileSystem()
+        shards = stage_examples(dfs, corpus, "/e2e/examples", num_shards=3)
+        stream = CheckpointedStream(
+            dfs,
+            lfs,
+            "/e2e/stream",
+            batch_size=50,
+            online_config=ONLINE_CONFIG,
+            checkpoint_every=1,
+            write_labels=False,
+        )
+        with pytest.raises(SimulatedCrash):
+            stream.run(RecordStreamSource(dfs, shards), fail_after_batch=4)
+
+        decoded = [
+            Example.from_record(record)
+            for record in iter_record_blobs(dfs, shards)
+        ]
+        matrix = apply_lfs_in_memory(lfs, decoded).matrix
+        row_of = {ex.example_id: i for i, ex in enumerate(decoded)}
+
+        # The kill left a durable root; serve straight from it.
+        registry = make_registry(dfs, "/e2e/stream")
+        with LabelServer(
+            registry, lfs, ServeConfig(flush_ms=0.5)
+        ) as server:
+            generation = registry.active()
+            assert generation is not None and generation.batch == 4
+            offline = SamplingFreeLabelModel(
+                LabelModelConfig(n_steps=200, seed=0)
+            )
+            offline.fit(matrix[: generation.cursor])
+            expected = offline.predict_proba(matrix)
+            for example in decoded[:25]:
+                result = server.predict(example)
+                assert result.generation == 1
+                assert (
+                    result.posterior == expected[row_of[example.example_id]]
+                )
