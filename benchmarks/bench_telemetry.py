@@ -1,0 +1,126 @@
+"""Telemetry layer benchmark + overhead/identity gates.
+
+Runs :func:`repro.experiments.telemetry_eval.run_telemetry_overhead` —
+the fully instrumented (metrics registry + always-on tracer + running
+exporter) streaming and offline hot paths against bare runs of the same
+workload — and enforces the observability contract:
+
+* **identity** (every scale): attaching telemetry must not change one
+  durable byte — instrumented stream roots (vote shards, label shards,
+  checkpoint manifests) equal the bare arm's, and instrumented offline
+  vote matrices equal the bare applier's;
+* **overhead** (full n >= 20k regime): instrumented throughput stays
+  >= ``OVERHEAD_FLOOR`` x bare on both hot paths; the hosted-runner
+  smoke regime only requires loose parity;
+* **liveness**: spans were actually written and the exporter actually
+  published snapshots — an accidentally disabled tracer would otherwise
+  pass the overhead gate for free.
+
+Rows land in the ``telemetry_overhead`` section of ``BENCH_perf.json``
+and ``BENCH_history.jsonl``; the trend check watches the instrumented
+streaming rate. A JSONL trace artifact (``BENCH_trace.jsonl``) is
+written next to the bench JSON for CI upload.
+
+Environment knobs: ``REPRO_SCALE`` and ``REPRO_BENCH_N``.
+"""
+
+import json
+import os
+
+from repro.experiments import perf
+from repro.experiments.telemetry_eval import run_telemetry_overhead
+
+from benchmarks.conftest import emit
+
+#: Example count for both telemetry arms.
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "20000"))
+
+#: Minimum instrumented/bare throughput ratio at full scale, per path.
+OVERHEAD_FLOOR = 0.9
+
+#: Loose smoke-regime ratio: two-batch streams measure scheduler noise,
+#: not telemetry, so only gross breakage should fail a smoke run.
+SMOKE_FLOOR = 0.3
+
+
+def _trend_gate(section: str, metric: str, match: dict) -> None:
+    """Warn on trend regressions; fail only when explicitly enforced."""
+    flag = perf.check_history_trend(section, metric, match=match)
+    if flag is None:
+        return
+    message = (
+        f"TREND REGRESSION: {section}.{metric} = {flag['latest']:.1f} is "
+        f"{100 * (1 - flag['ratio']):.0f}% below the trailing median "
+        f"{flag['trailing_median']:.1f} (window {flag['window']})"
+    )
+    print(f"[{message}]")
+    if os.environ.get("REPRO_ENFORCE_TREND") == "1":
+        raise AssertionError(message)
+
+
+def test_telemetry_overhead(benchmark, scale):
+    """The telemetry gate: byte-identity always, bounded overhead at scale."""
+    trace_path = os.path.join(
+        os.path.dirname(perf.bench_json_path()), "BENCH_trace.jsonl"
+    )
+    if os.path.exists(trace_path):
+        os.remove(trace_path)
+    result = benchmark.pedantic(
+        lambda: run_telemetry_overhead(
+            scale=scale, n_examples=BENCH_N, trace_jsonl=trace_path
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    row = result.rows[0]
+    history_row = {
+        k: v for k, v in row.items() if k != "final_snapshot"
+    }
+    perf.update_bench_json("telemetry_overhead", {"scale": scale, **row})
+    perf.append_bench_history(
+        "telemetry_overhead", {"scale": scale, **history_row}
+    )
+    _trend_gate(
+        "telemetry_overhead",
+        "stream_telemetry_examples_per_second",
+        {"scale": scale, "examples": row["examples"]},
+    )
+
+    # Identity is the non-negotiable half of the contract: telemetry
+    # must be invisible in every produced byte, at every scale.
+    assert row["stream_bytes_identical"], (
+        "instrumented streaming run produced different durable bytes "
+        "than the bare run"
+    )
+    assert row["offline_votes_identical"], (
+        "instrumented offline applier produced different votes than "
+        "the bare run"
+    )
+
+    # Liveness: the instrumented arm must really have been instrumented.
+    assert row["spans_written"] > 0, "tracer wrote no spans"
+    assert row["snapshots_written"] >= 1, "exporter published no snapshots"
+    assert row["checkpoints_written"] >= 1
+    assert os.path.exists(trace_path), "trace JSONL artifact missing"
+    with open(trace_path, encoding="utf-8") as handle:
+        spans = [json.loads(line) for line in handle if line.strip()]
+    assert len(spans) == row["spans_written"]
+    assert all("duration_us" in span and "trace_id" in span for span in spans)
+
+    if row["examples"] >= 20_000:
+        assert row["stream_telemetry_ratio"] >= OVERHEAD_FLOOR, (
+            f"streaming telemetry overhead regressed: "
+            f"{row['stream_telemetry_ratio']:.2f}x < {OVERHEAD_FLOOR}x "
+            f"bare at n={row['examples']}"
+        )
+        assert row["offline_telemetry_ratio"] >= OVERHEAD_FLOOR, (
+            f"offline telemetry overhead regressed: "
+            f"{row['offline_telemetry_ratio']:.2f}x < {OVERHEAD_FLOOR}x "
+            f"bare at n={row['examples']}"
+        )
+    else:
+        # Smoke regime: two-batch streams measure scheduling, not
+        # telemetry; require loose parity only.
+        assert row["stream_telemetry_ratio"] > SMOKE_FLOOR
+        assert row["offline_telemetry_ratio"] > SMOKE_FLOOR

@@ -34,6 +34,7 @@ DOCSTRING_ENFORCED = [
     "src/repro/streaming",
     "src/repro/parallel",
     "src/repro/serving",
+    "src/repro/obs",
     "src/repro/core/online_label_model.py",
     "src/repro/core/drift.py",
 ]

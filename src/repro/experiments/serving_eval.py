@@ -42,6 +42,7 @@ from repro.dfs.filesystem import DistributedFileSystem
 from repro.dfs.records import iter_record_blobs
 from repro.experiments.harness import ExperimentResult, get_content_experiment
 from repro.lf.applier import apply_lfs_in_memory, stage_examples
+from repro.obs import Histogram, MetricsRegistry, Tracer
 from repro.serving import CheckpointModelRegistry, LabelServer, ServeConfig
 from repro.streaming import CheckpointedStream, RecordStreamSource
 from repro.types import Example
@@ -174,7 +175,11 @@ def run_serving_eval(
         max_pending=max(1024, 4 * max_batch),
         poll_ms=5.0,
     )
-    server = LabelServer(registry, lfs, config)
+    telemetry = MetricsRegistry()
+    tracer = Tracer()  # enabled + sample read from REPRO_TRACE* knobs
+    server = LabelServer(
+        registry, lfs, config, telemetry=telemetry, tracer=tracer
+    )
     abstain_prior = registry.abstain_prior()
 
     def deploy(manifest_path: str) -> None:
@@ -190,25 +195,39 @@ def run_serving_eval(
     issued_lock = threading.Lock()
     issued = [0]
     barrier = threading.Barrier(clients)
-    per_client: list[list] = [[] for _ in range(clients)]
+    # Per-client accumulators: a log-bucketed latency histogram instead
+    # of an unbounded (example_id, result, latency) list — memory stays
+    # O(buckets) no matter how long the load runs — plus inline bitwise
+    # verification against the offline references, since the raw
+    # per-request tuples no longer exist to replay post-hoc.
+    latency_hists = [Histogram() for _ in range(clients)]
+    served_by_gen_per_client: list[dict[int | None, int]] = [
+        {} for _ in range(clients)
+    ]
+    mismatched_per_client = [0] * clients
 
     def client(c: int) -> None:
         """One load-generator thread: its share of the request stream."""
+        hist = latency_hists[c]
+        served_by_gen = served_by_gen_per_client[c]
         barrier.wait()
         for i in range(c, n_requests, clients):
             example = pool[i % corpus_n]
             request_start = time.perf_counter()
             result = server.predict(example)
-            latency_ms = 1e3 * (time.perf_counter() - request_start)
+            hist.record(1e6 * (time.perf_counter() - request_start))
             with issued_lock:
                 issued[0] += 1
                 if issued[0] == swap_at:
                     # The mid-load hot swap: deploy the final manifest
                     # while every client keeps hammering.
                     deploy(final_path)
-            per_client[c].append(
-                (example.example_id, result, latency_ms)
-            )
+            generation = result.generation
+            served_by_gen[generation] = served_by_gen.get(generation, 0) + 1
+            if generation is not None and result.posterior != (
+                expected[generation][row_of[example.example_id]]
+            ):
+                mismatched_per_client[c] += 1
 
     with server:
         # Phase A: empty root — every response degrades to the prior.
@@ -239,32 +258,31 @@ def run_serving_eval(
             thread.join()
         load_wall = time.perf_counter() - load_start
         report = server.report()
+    tracer.close()
+    server_snapshot = report["telemetry"] or {}
 
     # ------------------------------------------------------------------
     # verdicts: bitwise posteriors per generation, swap under load
     # ------------------------------------------------------------------
-    answered = [entry for part in per_client for entry in part]
-    latencies = np.array([entry[2] for entry in answered])
+    latency_hist = Histogram()
+    for hist in latency_hists:
+        latency_hist.merge(hist)
     served_by_generation: dict[int | None, int] = {}
-    mismatched = 0
-    degraded_in_load = 0
-    for example_id, result, _latency in answered:
-        served_by_generation[result.generation] = (
-            served_by_generation.get(result.generation, 0) + 1
-        )
-        if result.generation is None:
-            degraded_in_load += 1
-            continue
-        if result.posterior != expected[result.generation][row_of[example_id]]:
-            mismatched += 1
+    for part in served_by_gen_per_client:
+        for generation, count in part.items():
+            served_by_generation[generation] = (
+                served_by_generation.get(generation, 0) + count
+            )
+    mismatched = sum(mismatched_per_client)
+    degraded_in_load = served_by_generation.get(None, 0)
     served_gen1 = served_by_generation.get(1, 0)
     served_gen2 = served_by_generation.get(2, 0)
     swap_mid_load = served_gen1 > 0 and served_gen2 > 0
     bitwise_equal = mismatched == 0 and degraded_in_load == 0
 
     qps = n_requests / load_wall if load_wall > 0 else float("inf")
-    p50_ms = float(np.percentile(latencies, 50)) if len(latencies) else 0.0
-    p99_ms = float(np.percentile(latencies, 99)) if len(latencies) else 0.0
+    p50_ms = latency_hist.quantile(0.50) / 1e3 if latency_hist.count else 0.0
+    p99_ms = latency_hist.quantile(0.99) / 1e3 if latency_hist.count else 0.0
     counters = report["counters"]
     batches = counters.get("serving/batches", 0)
     mean_batch = (
@@ -296,6 +314,16 @@ def run_serving_eval(
         f"{'peak pending requests':<34} {report['peak_pending']:>12,} "
         f"(bound {report['max_pending']:,})",
     ]
+    server_latency = server_snapshot.get("histograms", {}).get(
+        "serving/latency_us"
+    )
+    if server_latency is not None:
+        lines.append(
+            f"{'server-side latency p50 / p99':<34} "
+            f"{server_latency['p50'] / 1e3:>7.2f}ms / "
+            f"{server_latency['p99'] / 1e3:.2f}ms "
+            f"({server_latency['count']:,} samples)"
+        )
     rows = [
         {
             "examples": n_requests,
@@ -333,6 +361,8 @@ def run_serving_eval(
             ),
             "peak_pending": report["peak_pending"],
             "max_pending": report["max_pending"],
+            "latency_samples": latency_hist.count,
+            "telemetry": server_snapshot,
             "cpu_count": os.cpu_count(),
         }
     ]

@@ -1,0 +1,333 @@
+"""Telemetry overhead + identity: instrumented vs bare hot paths.
+
+The unified telemetry layer (:mod:`repro.obs`) promises two things:
+
+* **identity** — attaching a :class:`~repro.obs.MetricsRegistry`, a
+  :class:`~repro.obs.Tracer`, and a
+  :class:`~repro.obs.TelemetryExporter` to a run must not change a
+  single produced byte: vote shards, label shards, checkpoint
+  manifests, and offline vote matrices are compared against an
+  uninstrumented run of the same workload;
+* **bounded overhead** — the instrumented run's throughput must stay
+  within a fixed fraction of the bare run's on both hot paths
+  (streaming and offline batched labeling).
+
+:func:`run_telemetry_overhead` measures both on the product workload
+and ``benchmarks/bench_telemetry.py`` turns them into hard gates (the
+``telemetry_overhead`` section of ``BENCH_perf.json``). The identity
+half is asserted unconditionally — it must hold at smoke scale too;
+the throughput floor binds at production scale like every other bench.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.config import DEFAULT_SEED
+from repro.core.online_label_model import OnlineLabelModelConfig
+from repro.core.label_model import LabelModelConfig
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.records import iter_record_blobs
+from repro.experiments.harness import (
+    ExperimentResult,
+    get_content_experiment,
+)
+from repro.lf.applier import apply_lfs_in_memory, stage_examples
+from repro.obs import (
+    DfsTraceSink,
+    JsonlTraceSink,
+    MetricsRegistry,
+    TelemetryExporter,
+    Tracer,
+)
+from repro.streaming import CheckpointedStream, RecordStreamSource
+from repro.types import Example
+
+__all__ = ["run_telemetry_overhead"]
+
+
+def _root_bytes(dfs: DistributedFileSystem, root: str) -> dict[str, bytes]:
+    """Every durable file under ``root``, keyed by its relative path."""
+    return {
+        path[len(root):]: dfs.read_file(path)
+        for path in dfs.list(root)
+    }
+
+
+def _timed(fn):
+    """Run ``fn`` with the garbage collector parked; returns (result, wall).
+
+    The ``timeit`` trick: a cyclic-GC pass landing inside one arm but
+    not the other swings sub-second measurements by far more than the
+    few histogram records under test, so each arm starts from a
+    collected heap and runs without the collector.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def run_telemetry_overhead(
+    scale: str | None = None,
+    seed: int = DEFAULT_SEED,
+    n_examples: int = 20_000,
+    batch_size: int = 2048,
+    num_shards: int = 8,
+    checkpoint_every: int = 4,
+    trace_sample: float = 1.0,
+    trace_jsonl: str | None = None,
+    metrics_jsonl: str | None = None,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Fully instrumented vs bare runs of both hot paths.
+
+    Four arms over one staged corpus:
+
+    * **streaming, bare** — durable :class:`CheckpointedStream` (vote +
+      label sinks, periodic manifests), no telemetry;
+    * **streaming, instrumented** — the same stream with a metrics
+      registry, an always-on tracer (``trace_sample`` of root spans
+      kept), and a running :class:`TelemetryExporter` publishing
+      snapshots durably. Every byte under its stream root must equal
+      the bare arm's;
+    * **offline, bare / instrumented** — the batched in-memory applier
+      with and without telemetry over clones of the same decoded
+      examples; the vote matrices must be identical.
+
+    Each arm runs ``repeats`` times, bare and instrumented interleaved,
+    and the comparison uses the best rate per arm — min-wall
+    methodology: arms take around a second each, where background
+    machine noise swings single measurements far more than the
+    instrumentation under test, while the *minimum* wall time is the
+    run the noise missed.
+
+    Args:
+        scale: Dataset scale preset (``None`` reads ``REPRO_SCALE``).
+        seed: Workload seed.
+        n_examples: Examples per arm (capped by the pool).
+        batch_size: Micro-batch / block size for both paths.
+        num_shards: Staged example shards.
+        checkpoint_every: Manifest cadence of the streaming arms.
+        trace_sample: Root-span keep fraction for the instrumented arms.
+        trace_jsonl: When set, spans additionally land in this local
+            JSONL file (the CI trace artifact) instead of DFS trace
+            shards.
+        metrics_jsonl: When set, the exporter appends snapshot lines to
+            this local file as well as its DFS records.
+        repeats: Interleaved timing repetitions per arm (>= 1).
+
+    Returns:
+        An :class:`ExperimentResult` whose single row carries both
+        throughput ratios, both identity verdicts, and the final
+        telemetry snapshot.
+
+    Raises:
+        ValueError: On a non-positive ``repeats``.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    exp = get_content_experiment("product", scale, seed)
+    pool = exp.dataset.unlabeled
+    n = min(n_examples, len(pool))
+    lfs = exp.lfs
+
+    dfs = DistributedFileSystem()
+    shard_paths = stage_examples(
+        dfs, pool[:n], "/telemetry/examples", num_shards=num_shards
+    )
+
+    online_config = OnlineLabelModelConfig(
+        base=LabelModelConfig(seed=seed), seed=seed
+    )
+
+    # Untimed warm-up: decode one shard and label it once so neither
+    # arm pays the one-time costs (lazy imports, LF resource start,
+    # kernel warm caches) — with arms run back to back, those costs
+    # would otherwise land entirely on whichever arm goes first and
+    # bias the ratio.
+    from repro.experiments.perf import _clone_examples
+
+    warm = [
+        Example.from_record(record)
+        for record in iter_record_blobs(dfs, shard_paths[:1])
+    ]
+    apply_lfs_in_memory(lfs, _clone_examples(warm), batch_size=batch_size)
+
+    def run_stream(root: str, telemetry, tracer):
+        stream = CheckpointedStream(
+            dfs,
+            lfs,
+            root,
+            batch_size=batch_size,
+            max_resident_batches=2,
+            online_config=online_config,
+            checkpoint_every=checkpoint_every,
+            telemetry=telemetry,
+            tracer=tracer,
+        )
+        return stream.run(RecordStreamSource(dfs, shard_paths))
+
+    # ------------------------------------------------------------------
+    # streaming arms: bare and instrumented, interleaved repeats
+    # ------------------------------------------------------------------
+    registry = MetricsRegistry()
+    if trace_jsonl is not None:
+        sink = JsonlTraceSink(trace_jsonl)
+    else:
+        sink = DfsTraceSink(dfs, "/telemetry/obs/traces")
+    tracer = Tracer(sink=sink, enabled=True, sample=trace_sample)
+    exporter = TelemetryExporter(
+        registry,
+        interval_s=0.5,
+        dfs=dfs,
+        root="/telemetry/obs/metrics",
+        path=metrics_jsonl,
+    )
+    stream_off_eps = 0.0
+    stream_on_eps = 0.0
+    instrumented_report = None
+    with exporter:
+        for rep in range(repeats):
+            bare_report, _ = _timed(
+                lambda rep=rep: run_stream(
+                    f"/telemetry/stream-off-{rep}", None, None
+                )
+            )
+            rep_report, _ = _timed(
+                lambda rep=rep: run_stream(
+                    f"/telemetry/stream-on-{rep}", registry, tracer
+                )
+            )
+            if instrumented_report is None:
+                instrumented_report = rep_report
+            stream_off_eps = max(
+                stream_off_eps, bare_report.stream.examples_per_second
+            )
+            stream_on_eps = max(
+                stream_on_eps, rep_report.stream.examples_per_second
+            )
+    tracer.close()
+    stream_ratio = (
+        stream_on_eps / stream_off_eps if stream_off_eps > 0 else 0.0
+    )
+    # The identity claim, byte for byte: telemetry lives under its own
+    # root, so every instrumented stream root must equal the bare one.
+    reference_bytes = _root_bytes(dfs, "/telemetry/stream-off-0")
+    stream_identical = all(
+        _root_bytes(dfs, f"/telemetry/stream-{arm}-{rep}")
+        == reference_bytes
+        for rep in range(repeats)
+        for arm in ("off", "on")
+    )
+    final_snapshot = exporter.last_snapshot or {}
+    trace_records = getattr(sink, "records_written", 0)
+
+    # ------------------------------------------------------------------
+    # offline arms: bare vs instrumented over clones of one decode
+    # ------------------------------------------------------------------
+    decoded = [
+        Example.from_record(record)
+        for record in iter_record_blobs(dfs, shard_paths)
+    ]
+    offline_registry = MetricsRegistry()
+    offline_tracer = Tracer(enabled=True, sample=trace_sample)
+    offline_off_eps = 0.0
+    offline_on_eps = 0.0
+    L_bare = None
+    L_instrumented = None
+    for rep in range(repeats):
+        bare_clone = _clone_examples(decoded)
+        rep_bare, off_wall = _timed(
+            lambda: apply_lfs_in_memory(
+                lfs, bare_clone, batch_size=batch_size
+            )
+        )
+        offline_off_eps = max(
+            offline_off_eps, n / off_wall if off_wall > 0 else float("inf")
+        )
+
+        on_clone = _clone_examples(decoded)
+        rep_instrumented, on_wall = _timed(
+            lambda: apply_lfs_in_memory(
+                lfs,
+                on_clone,
+                batch_size=batch_size,
+                telemetry=offline_registry,
+                tracer=offline_tracer,
+            )
+        )
+        offline_on_eps = max(
+            offline_on_eps, n / on_wall if on_wall > 0 else float("inf")
+        )
+        if L_bare is None:
+            L_bare, L_instrumented = rep_bare, rep_instrumented
+    offline_ratio = (
+        offline_on_eps / offline_off_eps if offline_off_eps > 0 else 0.0
+    )
+    offline_identical = (
+        L_bare.example_ids == L_instrumented.example_ids
+        and bool((L_bare.matrix == L_instrumented.matrix).all())
+    )
+
+    stream_hists = instrumented_report.stream.telemetry["histograms"]
+    lines = [
+        "Telemetry overhead: instrumented vs bare hot paths "
+        f"({n:,} examples, {len(lfs)} LFs, micro-batch {batch_size}, "
+        f"trace sample {trace_sample})",
+        "",
+        f"{'streaming bare':<34} {stream_off_eps:>12,.0f} examples/s",
+        f"{'streaming instrumented':<34} {stream_on_eps:>12,.0f} examples/s",
+        f"{'streaming on / off':<34} {stream_ratio:>12.2f}x",
+        f"{'offline bare':<34} {offline_off_eps:>12,.0f} examples/s",
+        f"{'offline instrumented':<34} {offline_on_eps:>12,.0f} examples/s",
+        f"{'offline on / off':<34} {offline_ratio:>12.2f}x",
+        f"{'stream roots byte-identical':<34} {str(stream_identical):>12}",
+        f"{'offline votes identical':<34} {str(offline_identical):>12}",
+        f"{'spans written / started':<34} "
+        f"{tracer.spans_written:>6,} / {tracer.spans_started:,} "
+        f"({trace_records:,} trace records)",
+        f"{'metrics snapshots published':<34} "
+        f"{exporter.snapshots_written:>12,}",
+        f"{'stage histograms (stream)':<34} "
+        + ", ".join(
+            f"{name.split('/', 1)[1]} p99 "
+            f"{stream_hists[name]['p99']:,.0f}us"
+            for name in (
+                "stream/decode_us",
+                "stream/label_us",
+                "stream/sink_us",
+            )
+            if name in stream_hists
+        ),
+    ]
+    rows = [
+        {
+            "examples": n,
+            "lfs": len(lfs),
+            "micro_batch": batch_size,
+            "trace_sample": trace_sample,
+            "repeats": repeats,
+            "stream_examples_per_second": stream_off_eps,
+            "stream_telemetry_examples_per_second": stream_on_eps,
+            "stream_telemetry_ratio": stream_ratio,
+            "offline_examples_per_second": offline_off_eps,
+            "offline_telemetry_examples_per_second": offline_on_eps,
+            "offline_telemetry_ratio": offline_ratio,
+            "stream_bytes_identical": stream_identical,
+            "offline_votes_identical": offline_identical,
+            "spans_started": tracer.spans_started,
+            "spans_written": tracer.spans_written,
+            "trace_records": trace_records,
+            "snapshots_written": exporter.snapshots_written,
+            "checkpoints_written": instrumented_report.checkpoints_written,
+            "histogram_names": sorted(stream_hists),
+            "final_snapshot": final_snapshot,
+        }
+    ]
+    return ExperimentResult("telemetry_overhead", "\n".join(lines), rows)

@@ -374,6 +374,8 @@ def apply_lfs_in_memory(
     workers: int = 1,
     suite_spec=None,
     executor=None,
+    telemetry=None,
+    tracer=None,
 ) -> LabelMatrix:
     """Fast path: vote on in-memory examples, no DFS/MapReduce.
 
@@ -392,6 +394,14 @@ def apply_lfs_in_memory(
     ``lfs`` in each worker) or a live ``executor`` to reuse a warmed
     pool. The matrix is byte-identical to the serial batched path at
     every worker count — the equivalence suite asserts it.
+
+    ``telemetry`` (a :class:`repro.obs.MetricsRegistry`) records
+    ``offline/label_block_us`` per batched block plus the
+    ``offline/blocks`` / ``offline/examples`` counters, and rides into
+    an owned parallel executor (``worker/*`` histograms); ``tracer``
+    emits ``offline.label_block`` spans. Both default to off, in which
+    case the hot loop runs with zero added timing calls — the votes are
+    identical either way.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -416,7 +426,9 @@ def apply_lfs_in_memory(
                     "workers > 1 needs a suite_spec (LFs are rebuilt "
                     "inside each worker process) or a live executor"
                 )
-            executor = ParallelLabelExecutor(suite_spec, workers)
+            executor = ParallelLabelExecutor(
+                suite_spec, workers, telemetry=telemetry
+            )
         try:
             votes = executor.label_examples(examples, block)
         finally:
@@ -435,13 +447,37 @@ def apply_lfs_in_memory(
         # whole group instead of once per LF. The same block kernel
         # drives the streaming pipeline's micro-batches.
         fused_cols = fused_lf_columns(lfs)
+        # Telemetry-off keeps the loop free of timing calls entirely;
+        # telemetry-on adds two perf_counter reads per *block* (never
+        # per example), which the overhead gate bounds.
+        active_tracer = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
+        observed = telemetry is not None or active_tracer is not None
         start_lf_resources(lfs)
         try:
             for start in range(0, n, batch_size):
                 block = examples[start:start + batch_size]
+                if observed:
+                    block_start = time.perf_counter()
                 matrix[start:start + len(block)] = label_example_block(
                     lfs, block, fused_cols
                 )
+                if observed:
+                    block_us = int(
+                        (time.perf_counter() - block_start) * 1e6
+                    )
+                    if telemetry is not None:
+                        telemetry.record("offline/label_block_us", block_us)
+                        telemetry.counter("offline/blocks")
+                        telemetry.counter("offline/examples", len(block))
+                    if active_tracer is not None:
+                        active_tracer.emit(
+                            "offline.label_block",
+                            block_us,
+                            offset=start,
+                            records=len(block),
+                        )
         finally:
             stop_lf_resources(lfs)
     else:

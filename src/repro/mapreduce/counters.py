@@ -43,6 +43,18 @@ class CounterSet:
             self._counts.update(snapshot)
 
     def merge_mapping(self, mapping: Mapping[str, int]) -> None:
+        """Fold a plain ``name -> amount`` mapping into this set.
+
+        Amounts obey the same invariant as :meth:`increment`: counters
+        only go up, so negative values are rejected *before* anything
+        is applied — a mapping with one bad entry changes nothing.
+        """
+        negatives = {k: v for k, v in mapping.items() if v < 0}
+        if negatives:
+            raise ValueError(
+                "counter merge amounts must be non-negative, got "
+                f"{dict(sorted(negatives.items()))}"
+            )
         with self._lock:
             self._counts.update(mapping)
 
@@ -110,6 +122,20 @@ class Gauge:
     def peak(self) -> int:
         with self._lock:
             return self._peak
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge's level in: currents add, peaks take max.
+
+        The aggregation a fleet view wants — total resident load is the
+        sum of per-node levels, while the merged peak is the highest
+        any contributor ever reached (an upper bound on each node,
+        not a statement about simultaneity).
+        """
+        with other._lock:
+            current, peak = other._current, other._peak
+        with self._lock:
+            self._current += current
+            self._peak = max(self._peak, peak)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Gauge(current={self.current}, peak={self.peak})"

@@ -1,0 +1,84 @@
+"""Unified telemetry: histograms, a metrics registry, tracing, export.
+
+``repro.obs`` is the observability layer the hot paths share:
+
+* :class:`~repro.obs.histogram.Histogram` — thread-safe, picklable,
+  mergeable log-bucketed latency/size distributions with p50/p90/p99;
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges, and
+  histograms under one namespace with a deterministic snapshot;
+* :class:`~repro.obs.tracing.Tracer` / :class:`~repro.obs.tracing.Span`
+  — deterministic span tracing emitted as durable DFS trace shards,
+  gated by ``REPRO_TRACE`` / ``REPRO_TRACE_SAMPLE``;
+* :class:`~repro.obs.exporter.TelemetryExporter` — periodic durable
+  snapshot publication.
+
+Everything here is opt-in and identity-preserving: a run with telemetry
+attached produces byte-identical votes, sink shards, and posteriors to
+a run without (gated by ``benchmarks/bench_telemetry.py``, along with a
+>= 0.9x telemetry-on/off throughput floor).
+
+:data:`HISTOGRAM_CONTRACT` pins the histogram keys the wired subsystems
+emit; ``docs/OPERATIONS.md`` documents them and ``tests/test_docs.py``
+diffs the two.
+"""
+
+from repro.obs.exporter import TelemetryExporter
+from repro.obs.histogram import (
+    DEFAULT_GROWTH,
+    Histogram,
+    decode_histograms,
+    encode_histograms,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import (
+    TRACE_ENV,
+    TRACE_SAMPLE_ENV,
+    DfsTraceSink,
+    JsonlTraceSink,
+    ListTraceSink,
+    Span,
+    Tracer,
+    trace_sample_rate,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Histogram",
+    "DEFAULT_GROWTH",
+    "encode_histograms",
+    "decode_histograms",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "ListTraceSink",
+    "JsonlTraceSink",
+    "DfsTraceSink",
+    "tracing_enabled",
+    "trace_sample_rate",
+    "TRACE_ENV",
+    "TRACE_SAMPLE_ENV",
+    "TelemetryExporter",
+    "HISTOGRAM_CONTRACT",
+]
+
+#: Histogram keys the wired subsystems emit, by layer. Pinned here so
+#: the telemetry table in docs/OPERATIONS.md cannot silently rot
+#: (tests/test_docs.py diffs the documented keys against this tuple).
+HISTOGRAM_CONTRACT = (
+    # streaming pipeline stages (per micro-batch)
+    "stream/decode_us",
+    "stream/label_us",
+    "stream/queue_wait_us",
+    "stream/sink_us",
+    "stream/batch_latency_us",
+    "stream/checkpoint_us",
+    "stream/drift_score",
+    # parallel executor (worker-side, merged over bytes-only IPC)
+    "worker/decode_us",
+    "worker/label_us",
+    # offline batched applier (per block)
+    "offline/label_block_us",
+    # label server (per request / per flush)
+    "serving/latency_us",
+    "serving/batch_size",
+)

@@ -1,0 +1,148 @@
+"""Periodic durable export of metrics-registry snapshots.
+
+A registry is process-local state; an operator watching a weeks-long
+stream needs it *published*. :class:`TelemetryExporter` runs a daemon
+thread that snapshots a :class:`~repro.obs.registry.MetricsRegistry`
+every ``interval_s`` and writes each snapshot:
+
+* as one finalized DFS record file per snapshot
+  (``<root>/metrics-NNNNN.records``) — write-once publish, so a reader
+  never observes a torn snapshot; and/or
+* as one JSON line appended to a local file — the ``jq``-able form CI
+  uploads.
+
+``stop()`` always takes one final snapshot, so the last export reflects
+the completed run — that final dict is what the serving and telemetry
+evals fold into their benchmark rows.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.records import write_records
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["TelemetryExporter"]
+
+
+class TelemetryExporter:
+    """Background thread publishing registry snapshots durably."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval_s: float = 5.0,
+        dfs: DistributedFileSystem | None = None,
+        root: str | None = None,
+        path: str | None = None,
+        include_buckets: bool = False,
+    ) -> None:
+        """Configure the exporter.
+
+        Args:
+            registry: The registry to snapshot.
+            interval_s: Seconds between periodic exports.
+            dfs: Filesystem for durable record-file snapshots.
+            root: DFS directory for ``metrics-NNNNN.records`` files
+                (required iff ``dfs`` is given).
+            path: Local file to append JSONL snapshot lines to.
+            include_buckets: Embed raw histogram buckets (lossless but
+                larger) in every snapshot.
+
+        Raises:
+            ValueError: On a non-positive interval or a ``dfs``/``root``
+                mismatch.
+        """
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if (dfs is None) != (root is None):
+            raise ValueError("dfs and root must be supplied together")
+        self.registry = registry
+        self.interval_s = interval_s
+        self._dfs = dfs
+        self.root = root.rstrip("/") if root else None
+        self.path = path
+        self.include_buckets = include_buckets
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._seq = 0
+        self.last_snapshot: dict | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetryExporter":
+        """Spawn the periodic export thread.
+
+        Raises:
+            RuntimeError: If the exporter is already running.
+        """
+        if self._thread is not None:
+            raise RuntimeError("TelemetryExporter is already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="telemetry-exporter", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> dict:
+        """Stop the thread and publish one final snapshot.
+
+        Idempotent; returns the final snapshot either way (taking one
+        now if the exporter was never started).
+        """
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        return self.export_now()
+
+    def __enter__(self) -> "TelemetryExporter":
+        """Start exporting on context entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop (with a final export) on context exit."""
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    @property
+    def snapshots_written(self) -> int:
+        """How many snapshots have been published so far."""
+        with self._lock:
+            return self._seq
+
+    def export_now(self) -> dict:
+        """Take and publish one snapshot immediately; returns it."""
+        snapshot = self.registry.snapshot(self.include_buckets)
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            entry = {
+                "seq": seq,
+                "unix": round(time.time(), 3),
+                **snapshot,
+            }
+            if self._dfs is not None:
+                write_records(
+                    self._dfs, f"{self.root}/metrics-{seq:05d}.records", [entry]
+                )
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(
+                        json.dumps(entry, sort_keys=True) + "\n"
+                    )
+            self.last_snapshot = entry
+        return entry
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.export_now()

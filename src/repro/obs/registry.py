@@ -1,0 +1,153 @@
+"""One namespace for counters, gauges, and histograms.
+
+The repo grew three observability primitives in three places:
+:class:`~repro.mapreduce.counters.CounterSet` (monotonic sums),
+:class:`~repro.mapreduce.counters.Gauge` (levels with high-water marks),
+and :class:`~repro.obs.histogram.Histogram` (distributions).
+:class:`MetricsRegistry` holds all three under one namespace with a
+single deterministic :meth:`~MetricsRegistry.snapshot` — the dict the
+:class:`~repro.obs.exporter.TelemetryExporter` publishes, the streaming
+report embeds, and ``scripts/metrics_dump.py`` pretty-prints.
+
+Registries merge like their parts: counters add, gauge peaks take the
+max, histograms fold bucket-wise — so per-worker or per-subsystem
+registries aggregate into a fleet view in any order with an identical
+result.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+from repro.mapreduce.counters import CounterSet, Gauge
+from repro.obs.histogram import DEFAULT_GROWTH, Histogram
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Counters + gauges + histograms under one namespace.
+
+    Thread contract: every method may be called from any thread; the
+    registry locks only its name→instrument maps, and each instrument
+    carries its own lock — so hot-path ``record`` calls on different
+    histograms never contend.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self.counters = CounterSet()
+        self._lock = threading.Lock()
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instruments (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, amount: int = 1) -> None:
+        """Increment the named counter (non-negative amounts only)."""
+        self.counters.increment(name, amount)
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            return gauge
+
+    def histogram(
+        self, name: str, growth: float = DEFAULT_GROWTH
+    ) -> Histogram:
+        """The named histogram, created on first use.
+
+        Raises:
+            ValueError: When the histogram exists with a different
+                ``growth`` — its buckets would not merge.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(growth)
+            elif hist.growth != growth:
+                raise ValueError(
+                    f"histogram {name!r} exists with growth {hist.growth}, "
+                    f"requested {growth}"
+                )
+            return hist
+
+    def record(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        self.histogram(name).record(value)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one."""
+        self.counters.merge(other.counters)
+        with other._lock:
+            gauges = dict(other._gauges)
+            histograms = dict(other._histograms)
+        for name, gauge in gauges.items():
+            self.gauge(name).merge(gauge)
+        for name, hist in histograms.items():
+            self.histogram(name, growth=hist.growth).merge(hist)
+
+    def merge_histograms(self, mapping: Mapping[str, Mapping]) -> None:
+        """Fold decoded worker histograms (``name -> as_dict()``) in.
+
+        This is the parent side of the executor's bytes-only IPC: the
+        worker returns :func:`repro.obs.histogram.encode_histograms`
+        output, the parent decodes to plain dicts and merges here.
+        """
+        for name, data in mapping.items():
+            self.histogram(name, growth=float(data["growth"])).merge(
+                Histogram.from_dict(data)
+            )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def histogram_names(self) -> list[str]:
+        """Sorted names of every histogram created so far."""
+        with self._lock:
+            return sorted(self._histograms)
+
+    def snapshot(self, include_buckets: bool = False) -> dict:
+        """Deterministic dict of everything the registry holds.
+
+        Keys are sorted at every level, so two registries that saw the
+        same events — in any thread interleaving or merge order —
+        produce byte-identical JSON. ``include_buckets`` additionally
+        embeds each histogram's raw bucket map (the lossless form).
+        """
+        with self._lock:
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        hist_view = {}
+        for name in sorted(histograms):
+            digest = histograms[name].summary()
+            if include_buckets:
+                digest["buckets"] = histograms[name].as_dict()["buckets"]
+            hist_view[name] = digest
+        return {
+            "namespace": self.namespace,
+            "counters": dict(sorted(self.counters.as_dict().items())),
+            "gauges": {
+                name: {
+                    "current": gauges[name].current,
+                    "peak": gauges[name].peak,
+                }
+                for name in sorted(gauges)
+            },
+            "histograms": hist_view,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry({self.namespace!r}, "
+            f"counters={len(self.counters.as_dict())}, "
+            f"histograms={len(self.histogram_names())})"
+        )

@@ -59,6 +59,11 @@ import multiprocessing
 import numpy as np
 
 from repro.mapreduce.runner import WorkerFailure
+from repro.obs.histogram import (
+    Histogram,
+    decode_histograms,
+    encode_histograms,
+)
 from repro.parallel.spec import (
     LFSuiteSpec,
     decode_example_block,
@@ -131,23 +136,42 @@ def _worker_warm() -> bool:
 
 
 def _worker_label(
-    seq: int, blob: bytes, kill: bool
-) -> tuple[int, tuple[int, int], bytes, int]:
-    """Label one block; returns ``(seq, shape, vote bytes, label_us)``.
+    seq: int, blob: bytes, kill: bool, collect: bool
+) -> tuple[int, tuple[int, int], bytes, int, bytes | None]:
+    """Label one block; returns ``(seq, shape, vote bytes, label_us, stats)``.
 
     ``kill=True`` is the crash-injection hook: the process exits without
     cleanup, exactly what an OOM-killed or preempted worker looks like
     to the parent (a broken pool, not an exception).
+
+    ``collect=True`` additionally returns worker-side stage histograms
+    (:data:`repro.obs.HISTOGRAM_CONTRACT` ``worker/*`` keys) encoded
+    with :func:`repro.obs.histogram.encode_histograms` — telemetry rides
+    the existing bytes-only IPC and never touches the vote payload.
     """
     if kill:
         os._exit(1)
     from repro.lf.applier import label_example_block
 
+    decode_start = time.perf_counter()
     examples = decode_example_block(blob)
+    decode_us = int((time.perf_counter() - decode_start) * 1e6)
     start = time.perf_counter()
     votes = label_example_block(_WORKER_LFS, examples, _WORKER_FUSED)
     label_us = int((time.perf_counter() - start) * 1e6)
-    return seq, votes.shape, votes.tobytes(), label_us
+    stats: bytes | None = None
+    if collect:
+        decode_hist = Histogram()
+        decode_hist.record(decode_us)
+        label_hist = Histogram()
+        label_hist.record(label_us)
+        stats = encode_histograms(
+            {
+                "worker/decode_us": decode_hist,
+                "worker/label_us": label_hist,
+            }
+        )
+    return seq, votes.shape, votes.tobytes(), label_us, stats
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +203,7 @@ class ParallelLabelExecutor:
         workers: int,
         max_retries: int = DEFAULT_MAX_RETRIES,
         start_method: str | None = None,
+        telemetry=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -187,6 +212,12 @@ class ParallelLabelExecutor:
         self.suite_spec = suite_spec
         self.workers = workers
         self.max_retries = max_retries
+        #: Optional :class:`repro.obs.MetricsRegistry`. When set, each
+        #: completed block folds its worker-side histograms in and the
+        #: ``parallel/blocks`` / ``parallel/retries`` /
+        #: ``parallel/pool_restarts`` counters track the run; when None
+        #: the workers skip collection entirely.
+        self.telemetry = telemetry
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -319,12 +350,19 @@ class ParallelLabelExecutor:
                 # attempt and let the retry budget decide.
                 error = cancelled
             if error is None:
-                _, shape, blob, label_us = future.result()
+                _, shape, blob, label_us, stats = future.result()
                 votes = (
                     np.frombuffer(blob, dtype=np.int8).reshape(shape).copy()
                 )
                 with self._lock:
                     del self._inflight[seq]
+                if self.telemetry is not None:
+                    if stats is not None:
+                        for name, hist in decode_histograms(stats).items():
+                            self.telemetry.histogram(
+                                name, growth=hist.growth
+                            ).merge(hist)
+                    self.telemetry.counter("parallel/blocks")
                 return seq, entry.examples, votes, label_us
             entry.attempts += 1
             if entry.attempts > self.max_retries:
@@ -332,6 +370,8 @@ class ParallelLabelExecutor:
                     f"parallel labeling block {seq} failed after "
                     f"{entry.attempts} attempts"
                 ) from error
+            if self.telemetry is not None:
+                self.telemetry.counter("parallel/retries")
             self._dispatch(seq, entry)
 
     # ------------------------------------------------------------------
@@ -479,6 +519,8 @@ class ParallelLabelExecutor:
                 self._pool = None
             self._pool_generation += 1
             self._pool_restarts += 1
+            if self.telemetry is not None:
+                self.telemetry.counter("parallel/pool_restarts")
 
     def _dispatch(self, seq: int, entry: _Inflight) -> None:
         kill = entry.attempts < self._kill_plan.get(seq, 0)
@@ -488,7 +530,13 @@ class ParallelLabelExecutor:
             generation: int | None = None
             try:
                 pool, generation = self._ensure_pool()
-                future = pool.submit(_worker_label, seq, entry.blob, kill)
+                future = pool.submit(
+                    _worker_label,
+                    seq,
+                    entry.blob,
+                    kill,
+                    self.telemetry is not None,
+                )
                 break
             except BrokenExecutor as error:
                 last_error = error

@@ -215,6 +215,8 @@ class LabelServer:
         registry: CheckpointModelRegistry,
         lfs: list[AbstractLabelingFunction],
         config: ServeConfig | None = None,
+        telemetry=None,
+        tracer=None,
     ) -> None:
         """Wire a server to its registry and LF suite.
 
@@ -227,6 +229,13 @@ class LabelServer:
                 meaningless.
             config: Serving knobs; ``None`` reads the environment via
                 :meth:`ServeConfig.from_env`.
+            telemetry: Optional :class:`repro.obs.MetricsRegistry`;
+                when set, every request records ``serving/latency_us``
+                and every flush records ``serving/batch_size``
+                (:data:`repro.obs.HISTOGRAM_CONTRACT` keys), and
+                :meth:`report` embeds the registry snapshot.
+            tracer: Optional :class:`repro.obs.Tracer`; batcher flushes
+                emit ``serving.flush`` spans.
 
         Raises:
             ValueError: If ``lfs`` is empty.
@@ -237,6 +246,8 @@ class LabelServer:
         self.lfs = list(lfs)
         self.config = config or ServeConfig.from_env()
         self.counters = registry.counters
+        self.telemetry = telemetry
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
         self.resident = Gauge()
         self._fused_cols = fused_lf_columns(self.lfs)
         self._abstain_prior = registry.abstain_prior()
@@ -400,6 +411,7 @@ class LabelServer:
 
     def _score_batch(self, batch: list[_Pending]) -> None:
         """Label + score one micro-batch against one captured generation."""
+        flush_start = time.perf_counter()
         # One generation snapshot per batch: every response in this
         # batch is scored by the same immutable object, even if the
         # watcher swaps mid-batch.
@@ -428,6 +440,16 @@ class LabelServer:
                     fired=int(n_fired),
                 )
         self.counters.increment("serving/batches")
+        if self.telemetry is not None:
+            self.telemetry.record("serving/batch_size", len(batch))
+        if self.tracer is not None:
+            flush_us = int((time.perf_counter() - flush_start) * 1e6)
+            self.tracer.emit(
+                "serving.flush",
+                flush_us,
+                requests=len(batch),
+                degraded=generation is None,
+            )
 
     @staticmethod
     def _score_votes(
@@ -451,14 +473,17 @@ class LabelServer:
         fired: int,
     ) -> None:
         """Publish one result, wake its waiter, release its residency."""
+        latency_ms = 1e3 * (time.perf_counter() - pending.enqueued)
         pending.result = ServeResult(
             example_id=pending.example.example_id,
             posterior=posterior,
             generation=generation,
             degraded=degraded,
             fired=fired,
-            latency_ms=1e3 * (time.perf_counter() - pending.enqueued),
+            latency_ms=latency_ms,
         )
+        if self.telemetry is not None:
+            self.telemetry.record("serving/latency_us", latency_ms * 1e3)
         pending.event.set()
         self.resident.subtract(1)
         self._permits.release()
@@ -486,8 +511,10 @@ class LabelServer:
 
         Returns:
             Counters (``serving/*``), the admission gauge's current and
-            peak residency, the configured bound, and the active
-            generation number.
+            peak residency, the configured bound, the active generation
+            number, and — when a telemetry registry is attached — its
+            deterministic snapshot (request-latency and batch-size
+            histograms included).
         """
         return {
             "counters": self.counters.as_dict(),
@@ -495,4 +522,7 @@ class LabelServer:
             "peak_pending": self.resident.peak,
             "max_pending": self.config.max_pending,
             "active_generation": self.registry.generation,
+            "telemetry": (
+                None if self.telemetry is None else self.telemetry.snapshot()
+            ),
         }

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import re
 import threading
+import time
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Iterable, Iterator, Sequence
@@ -348,6 +349,8 @@ class CheckpointedStream:
         suite_spec=None,
         executor=None,
         drift: DriftPolicy | None = None,
+        telemetry=None,
+        tracer=None,
     ) -> None:
         """Configure a durable, resumable stream.
 
@@ -373,6 +376,14 @@ class CheckpointedStream:
                 early :meth:`OnlineLabelModel.refit`, monitor state is
                 snapshotted into every manifest (bit-exactly), and
                 ``drift/*`` counters appear on the stream report.
+            telemetry: Optional :class:`repro.obs.MetricsRegistry`
+                shared with the pipeline (stage histograms) and fed
+                ``stream/checkpoint_us`` per manifest written. Purely
+                observational — manifests and shards stay byte-identical
+                with or without it.
+            tracer: Optional :class:`repro.obs.Tracer` shared with the
+                pipeline; manifest writes emit ``stream.checkpoint``
+                spans.
 
         Raises:
             ValueError: On a non-positive ``checkpoint_every`` or an
@@ -406,6 +417,8 @@ class CheckpointedStream:
         #: Drift policy; each run() builds a fresh monitor from it (and
         #: restores the manifest's monitor snapshot on resume).
         self.drift_policy = drift
+        self.telemetry = telemetry
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
         self.manager = CheckpointManager(dfs, self.root)
         self.online = OnlineLabelModel(self.online_config)
         self.drift_monitor: DriftMonitor | None = None
@@ -512,6 +525,8 @@ class CheckpointedStream:
             suite_spec=self.suite_spec,
             executor=self.executor,
             drift_monitor=self.drift_monitor,
+            telemetry=self.telemetry,
+            tracer=self.tracer,
         )
         # Source replay: seek when we can, replay-and-discard when we
         # must. A cursor-capable source resumes at the manifest's
@@ -544,6 +559,10 @@ class CheckpointedStream:
         # batch fell between checkpoint cadences.
         if self._last_seq > self._last_checkpoint_seq:
             self._write_checkpoint(self._last_seq)
+        if self.telemetry is not None:
+            # Re-snapshot so the report sees the end-of-stream manifest
+            # write too (the pipeline snapshots before it happens).
+            report.telemetry = self.telemetry.snapshot()
         return CheckpointedRunReport(
             stream=report,
             resumed_from_batch=resumed_from,
@@ -595,6 +614,7 @@ class CheckpointedStream:
             )
 
     def _write_checkpoint(self, seq: int) -> str:
+        start = time.perf_counter()
         meta = {
             "batch_size": self.batch_size,
             "checkpoint_every": self.checkpoint_every,
@@ -621,4 +641,11 @@ class CheckpointedStream:
         )
         self._last_checkpoint_seq = seq
         self._checkpoints_written += 1
+        checkpoint_us = int((time.perf_counter() - start) * 1e6)
+        if self.telemetry is not None:
+            self.telemetry.record("stream/checkpoint_us", checkpoint_us)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "stream.checkpoint", checkpoint_us, seq=seq, path=path
+            )
         return path

@@ -188,6 +188,10 @@ class StreamReport:
     counters: dict[str, int] = field(default_factory=dict)
     label_matrix: LabelMatrix | None = None
     workers: int = 1
+    #: Final telemetry-registry snapshot (``None`` when the run had no
+    #: registry attached) — counters, gauges, and stage histograms with
+    #: p50/p90/p99, per the key contract in ``repro.obs``.
+    telemetry: dict | None = None
 
     @property
     def examples_per_second(self) -> float:
@@ -236,6 +240,8 @@ class MicroBatchPipeline:
         suite_spec=None,
         executor=None,
         drift_monitor=None,
+        telemetry=None,
+        tracer=None,
     ) -> None:
         """Configure the pipeline.
 
@@ -262,6 +268,19 @@ class MicroBatchPipeline:
                 finalized batch's votes, in order, between ``on_batch``
                 and the sinks; its activity lands in the ``drift/*``
                 counters.
+            telemetry: Optional :class:`repro.obs.MetricsRegistry`.
+                When set, each stage records per-batch latency
+                histograms (``stream/decode_us``, ``stream/label_us``,
+                ``stream/queue_wait_us``, ``stream/sink_us``,
+                ``stream/batch_latency_us``, plus ``stream/drift_score``
+                when a monitor is attached), the run's counters and
+                residency gauge fold into the registry, and the report
+                carries a final snapshot. Telemetry never perturbs
+                votes, shards, or posteriors.
+            tracer: Optional :class:`repro.obs.Tracer`. When enabled it
+                emits per-batch ``stream.ingest`` / ``stream.label`` /
+                ``stream.sink`` spans (sampling and ids are
+                deterministic — no RNG is touched).
 
         Raises:
             ValueError: On non-positive sizes, a negative
@@ -308,6 +327,10 @@ class MicroBatchPipeline:
         #: order) — between ``on_batch`` and the sink stage, so forced
         #: refits mutate model state before anything durable observes it.
         self.drift_monitor = drift_monitor
+        #: Optional telemetry registry (stage histograms + folded
+        #: counters) and span tracer; both are pure observers.
+        self.telemetry = telemetry
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # execution
@@ -331,6 +354,17 @@ class MicroBatchPipeline:
         for example in examples:
             resident.add(1)
             yield example
+
+    def _active_tracer(self):
+        """The configured tracer when tracing is on, else ``None``.
+
+        Hot loops branch on this once per batch, so a disabled tracer
+        (the default) costs a single attribute check.
+        """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer
+        return None
 
     def _acquire_permit(
         self,
@@ -360,6 +394,9 @@ class MicroBatchPipeline:
     ) -> None:
         """Post-labeling stages, identical in both modes: counters,
         ordered sinks, vote collection, latency, permit return."""
+        telemetry = self.telemetry
+        tracer = self._active_tracer()
+        sink_elapsed_us = 0
         counters.increment("label/records", len(batch.examples))
         batch_votes = int(np.count_nonzero(votes))
         tallies.votes_emitted += batch_votes
@@ -367,15 +404,16 @@ class MicroBatchPipeline:
         if self.on_batch is not None:
             sink_start = time.perf_counter()
             self.on_batch(batch.seq, batch.examples, votes)
-            counters.increment(
-                "sink/us",
-                int((time.perf_counter() - sink_start) * 1e6),
-            )
+            on_batch_us = int((time.perf_counter() - sink_start) * 1e6)
+            sink_elapsed_us += on_batch_us
+            counters.increment("sink/us", on_batch_us)
         if self.drift_monitor is not None:
             check = self.drift_monitor.observe_batch(votes)
             counters.increment("drift/batches")
             if check.checked:
                 counters.increment("drift/checks")
+                if telemetry is not None:
+                    telemetry.record("stream/drift_score", check.score)
             if check.alarmed:
                 counters.increment("drift/alarms")
             for reaction in check.reactions:
@@ -388,6 +426,7 @@ class MicroBatchPipeline:
                 sink_start = time.perf_counter()
                 sink(batch.seq, batch.examples, votes)
                 elapsed_us = int((time.perf_counter() - sink_start) * 1e6)
+                sink_elapsed_us += elapsed_us
                 name = getattr(sink, "name", type(sink).__name__)
                 counters.increment("sink/us", elapsed_us)
                 counters.increment(f"sink/{name}/us", elapsed_us)
@@ -397,6 +436,15 @@ class MicroBatchPipeline:
                 )
             counters.increment("sink/batches")
             counters.increment("sink/records", len(batch.examples))
+            if telemetry is not None:
+                telemetry.record("stream/sink_us", sink_elapsed_us)
+            if tracer is not None:
+                tracer.emit(
+                    "stream.sink",
+                    sink_elapsed_us,
+                    seq=batch.seq,
+                    records=len(batch.examples),
+                )
         if self.collect_votes:
             collected_votes.append(votes)
             collected_ids.extend(e.example_id for e in batch.examples)
@@ -405,6 +453,8 @@ class MicroBatchPipeline:
         latency = time.perf_counter() - batch.created
         tallies.latency_sum += latency
         tallies.latency_max = max(tallies.latency_max, latency)
+        if telemetry is not None:
+            telemetry.record("stream/batch_latency_us", int(latency * 1e6))
         # The batch's records leave the pipeline here; only now may the
         # ingest stage decode a replacement batch.
         resident.subtract(len(batch.examples))
@@ -429,6 +479,14 @@ class MicroBatchPipeline:
             label_matrix = LabelMatrix(
                 stacked, collected_ids, [lf.name for lf in self.lfs]
             )
+        telemetry_snapshot = None
+        if self.telemetry is not None:
+            # Fold this run's counters and residency gauge into the
+            # registry, then snapshot — the registry outlives the run,
+            # so a long-lived service accumulates across streams.
+            self.telemetry.counters.merge(counters)
+            self.telemetry.gauge("stream/resident_records").merge(resident)
+            telemetry_snapshot = self.telemetry.snapshot()
         return StreamReport(
             examples=tallies.examples_done,
             batches=tallies.batches_done,
@@ -450,6 +508,7 @@ class MicroBatchPipeline:
                 self.workers,
                 self.executor.workers if self.executor is not None else 1,
             ),
+            telemetry=telemetry_snapshot,
         )
 
     # ------------------------------------------------------------------
@@ -462,6 +521,8 @@ class MicroBatchPipeline:
         handoff: queue_module.Queue[_Batch | None] = queue_module.Queue()
         stop = threading.Event()
         producer_error: list[BaseException | None] = [None]
+        telemetry = self.telemetry
+        tracer = self._active_tracer()
 
         def produce() -> None:
             try:
@@ -482,11 +543,19 @@ class MicroBatchPipeline:
                         permits.release()
                         return
                     now = time.perf_counter()
-                    counters.increment(
-                        "ingest/decode_us", int((now - decode_start) * 1e6)
-                    )
+                    decode_us = int((now - decode_start) * 1e6)
+                    counters.increment("ingest/decode_us", decode_us)
                     counters.increment("ingest/records", len(batch_examples))
                     counters.increment("ingest/batches")
+                    if telemetry is not None:
+                        telemetry.record("stream/decode_us", decode_us)
+                    if tracer is not None:
+                        tracer.emit(
+                            "stream.ingest",
+                            decode_us,
+                            seq=seq,
+                            records=len(batch_examples),
+                        )
                     batch = _Batch(seq, batch_examples, decode_start, now)
                     seq += 1
                     handoff.put(batch)
@@ -513,16 +582,23 @@ class MicroBatchPipeline:
                     if producer_error[0] is not None:
                         raise producer_error[0]
                     break
-                counters.increment(
-                    "queue/wait_us",
-                    int((time.perf_counter() - batch.enqueued) * 1e6),
-                )
+                wait_us = int((time.perf_counter() - batch.enqueued) * 1e6)
+                counters.increment("queue/wait_us", wait_us)
                 label_start = time.perf_counter()
                 votes = label_example_block(self.lfs, batch.examples, fused_cols)
-                counters.increment(
-                    "label/us", int((time.perf_counter() - label_start) * 1e6)
-                )
+                label_us = int((time.perf_counter() - label_start) * 1e6)
+                counters.increment("label/us", label_us)
                 counters.increment("label/batches")
+                if telemetry is not None:
+                    telemetry.record("stream/queue_wait_us", wait_us)
+                    telemetry.record("stream/label_us", label_us)
+                if tracer is not None:
+                    tracer.emit(
+                        "stream.label",
+                        label_us,
+                        seq=batch.seq,
+                        records=len(batch.examples),
+                    )
                 self._finish_batch(
                     batch,
                     votes,
@@ -566,11 +642,15 @@ class MicroBatchPipeline:
         owned = self.executor is None
         executor = self.executor
         if owned:
-            executor = ParallelLabelExecutor(self.suite_spec, self.workers)
+            executor = ParallelLabelExecutor(
+                self.suite_spec, self.workers, telemetry=self.telemetry
+            )
         # Start the pool before the ingest thread exists: forked workers
         # must never inherit a half-running pipeline.
         executor.start()
 
+        telemetry = self.telemetry
+        tracer = self._active_tracer()
         counters = CounterSet()
         resident = Gauge()
         permits = threading.Semaphore(self.max_resident_batches)
@@ -598,11 +678,19 @@ class MicroBatchPipeline:
                         permits.release()
                         return
                     now = time.perf_counter()
-                    counters.increment(
-                        "ingest/decode_us", int((now - decode_start) * 1e6)
-                    )
+                    decode_us = int((now - decode_start) * 1e6)
+                    counters.increment("ingest/decode_us", decode_us)
                     counters.increment("ingest/records", len(batch_examples))
                     counters.increment("ingest/batches")
+                    if telemetry is not None:
+                        telemetry.record("stream/decode_us", decode_us)
+                    if tracer is not None:
+                        tracer.emit(
+                            "stream.ingest",
+                            decode_us,
+                            seq=seq,
+                            records=len(batch_examples),
+                        )
                     # Timestamps must be visible BEFORE the submit: a
                     # fast worker can complete the block (and the
                     # consumer finalize it) before this thread runs
@@ -657,14 +745,20 @@ class MicroBatchPipeline:
                     )
                 counters.increment("label/us", label_us)
                 counters.increment("label/batches")
+                if telemetry is not None:
+                    telemetry.record("stream/label_us", label_us)
+                if tracer is not None:
+                    tracer.emit(
+                        "stream.label", label_us, seq=seq, records=len(examples)
+                    )
                 reorder[seq] = (examples, votes)
                 while next_seq in reorder:
                     examples, votes = reorder.pop(next_seq)
                     created, dispatched = batch_times.pop(next_seq)
-                    counters.increment(
-                        "queue/wait_us",
-                        int((time.perf_counter() - dispatched) * 1e6),
-                    )
+                    wait_us = int((time.perf_counter() - dispatched) * 1e6)
+                    counters.increment("queue/wait_us", wait_us)
+                    if telemetry is not None:
+                        telemetry.record("stream/queue_wait_us", wait_us)
                     self._finish_batch(
                         _Batch(next_seq, examples, created, dispatched),
                         votes,

@@ -128,6 +128,37 @@ class TestServingCounterContract:
         assert all(key.startswith("serving/") for key in serving)
 
 
+class TestTelemetryContract:
+    def test_documented_histogram_keys_match_contract(self):
+        """The telemetry histogram table equals HISTOGRAM_CONTRACT."""
+        from repro.obs import HISTOGRAM_CONTRACT
+
+        documented = set(
+            COUNTER_KEY_RE.findall(marker_block("telemetry-histograms"))
+        )
+        contract = set(HISTOGRAM_CONTRACT)
+        assert documented == contract, (
+            f"docs/OPERATIONS.md telemetry histogram contract out of sync: "
+            f"undocumented={sorted(contract - documented)}, "
+            f"stale={sorted(documented - contract)}"
+        )
+
+    def test_contract_covers_every_hot_layer(self):
+        """Each instrumented layer owns at least one histogram family."""
+        from repro.obs import HISTOGRAM_CONTRACT
+
+        families = {key.split("/", 1)[0] for key in HISTOGRAM_CONTRACT}
+        assert families == {"stream", "worker", "offline", "serving"}
+
+    def test_trace_knobs_are_documented(self):
+        """REPRO_TRACE* knobs appear in the env-knobs block and match
+        the code's knob names."""
+        from repro.obs.tracing import TRACE_ENV, TRACE_SAMPLE_ENV
+
+        documented = set(KNOB_RE.findall(marker_block("env-knobs")))
+        assert {TRACE_ENV, TRACE_SAMPLE_ENV} <= documented
+
+
 class TestBenchArtifacts:
     def test_documented_sections_match_benchmarks(self):
         """Every BENCH_perf.json section written by a benchmark is
