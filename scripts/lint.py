@@ -1,107 +1,59 @@
 #!/usr/bin/env python
-"""Repository lint gate.
+"""Repository lint + static-analysis gate.
 
-Runs ``ruff check`` and ``ruff format --check`` when ruff is installed
-(the CI path). In hermetic environments without ruff, falls back to a
-byte-compile pass plus an AST sweep for the highest-signal Pyflakes
-classes (unused imports, duplicate definitions), so the gate still
-catches real defects offline instead of silently passing.
+Two layers run on every invocation:
 
-On top of either path, the gate enforces public docstrings on the
-packages whose APIs ``docs/`` documents (:data:`DOCSTRING_ENFORCED`):
-every public module, class, function, and method there must carry a
-docstring — the documentation suite links into these modules, so an
-undocumented export is a doc regression, not a style nit.
+1. **Style/correctness lint** — ``ruff check`` plus an advisory
+   ``ruff format --check`` when ruff is installed (the CI path); in
+   hermetic environments without ruff, a byte-compile pass over
+   ``src``/``tests`` stands in (the AST-level checks below cover the
+   highest-signal Pyflakes classes either way).
+2. **Invariant analysis** — the :mod:`repro.analysis` rule suite
+   (determinism surface, counter/gauge/histogram contract closure,
+   lock discipline, resource safety, unused imports, docstrings,
+   syntax, suppression grammar). Intentional violations carry inline
+   ``# repro: allow[rule-id] reason`` suppressions; pre-existing
+   findings may be grandfathered in ``scripts/analysis_baseline.json``.
 
-Exit status is non-zero on any finding.
+Usage::
+
+    python scripts/lint.py                # everything, human output
+    python scripts/lint.py --json         # machine-readable report
+    python scripts/lint.py --json-out p   # also write the report to p
+    python scripts/lint.py --rule ID      # run one analysis rule
+    python scripts/lint.py --list-rules   # show the rule registry
+    python scripts/lint.py --skip-ruff    # analysis layer only
+
+Exit status is non-zero on any unsuppressed finding.
 """
 
 from __future__ import annotations
 
-import ast
+import argparse
 import compileall
 import shutil
 import subprocess
 import sys
 from pathlib import Path
 
-TARGETS = ["src", "tests", "benchmarks", "examples", "scripts"]
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
 
-#: Paths (files or package directories, repo-relative) whose public API
-#: must be fully docstringed. These are the surfaces docs/ARCHITECTURE.md
-#: and docs/OPERATIONS.md link into.
-DOCSTRING_ENFORCED = [
-    "src/repro/streaming",
-    "src/repro/parallel",
-    "src/repro/serving",
-    "src/repro/obs",
-    "src/repro/core/online_label_model.py",
-    "src/repro/core/drift.py",
-]
+from repro.analysis import (  # noqa: E402  (path bootstrap above)
+    default_rules,
+    format_human,
+    format_json,
+    run_analysis,
+)
+from repro.analysis.framework import DEFAULT_TARGETS, builtin_rules  # noqa: E402
 
-
-def iter_enforced_files(repo: Path):
-    for target in DOCSTRING_ENFORCED:
-        path = repo / target
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.exists():
-            yield path
-
-
-def missing_public_docstrings(tree: ast.Module) -> list[tuple[int, str]]:
-    """Public defs without a docstring: ``(lineno, qualified name)``.
-
-    Public means not underscore-prefixed; dunder methods are exempt
-    (the class docstring covers construction), as are trivial
-    ``@property`` wrappers' *private* helpers by the same underscore
-    rule. The module itself must also carry a docstring.
-    """
-    findings: list[tuple[int, str]] = []
-    if not ast.get_docstring(tree):
-        findings.append((1, "<module>"))
-
-    def is_public(name: str) -> bool:
-        return not name.startswith("_")
-
-    def check_def(node, prefix: str) -> None:
-        name = f"{prefix}{node.name}"
-        if not ast.get_docstring(node):
-            findings.append((node.lineno, name))
-        if isinstance(node, ast.ClassDef):
-            for child in node.body:
-                if isinstance(
-                    child,
-                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
-                ) and is_public(child.name):
-                    check_def(child, f"{name}.")
-
-    for node in tree.body:
-        if isinstance(
-            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
-        ) and is_public(node.name):
-            check_def(node, "")
-    return findings
-
-
-def run_docstring_gate(repo: Path) -> int:
-    status = 0
-    for path in iter_enforced_files(repo):
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        for lineno, name in missing_public_docstrings(tree):
-            print(
-                f"{path.relative_to(repo)}:{lineno}: missing public "
-                f"docstring for {name!r}"
-            )
-            status = 1
-    return status
+TARGETS = list(DEFAULT_TARGETS)
 
 
 def run_ruff(repo: Path) -> int:
+    """ruff check (gating) + ruff format --check (advisory)."""
     check = subprocess.call(["ruff", "check", *TARGETS], cwd=repo)
-    fmt = subprocess.call(
-        ["ruff", "format", "--check", *TARGETS], cwd=repo
-    )
+    fmt = subprocess.call(["ruff", "format", "--check", *TARGETS], cwd=repo)
     if fmt != 0:
         # Formatting drift is reported but advisory until the whole tree
         # has been formatted in one sweep; correctness checks gate.
@@ -109,77 +61,79 @@ def run_ruff(repo: Path) -> int:
     return check
 
 
-def iter_py_files(repo: Path):
-    for target in TARGETS:
-        root = repo / target
-        if root.exists():
-            yield from sorted(root.rglob("*.py"))
-
-
-def unused_imports(tree: ast.Module, source: str) -> list[tuple[int, str]]:
-    """Names imported at module level but never referenced again."""
-    imported: dict[str, int] = {}
-    for node in tree.body:
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                name = (alias.asname or alias.name).split(".")[0]
-                imported[name] = node.lineno
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                imported[alias.asname or alias.name] = node.lineno
-    if not imported:
-        return []
-    used: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            root = node
-            while isinstance(root, ast.Attribute):
-                root = root.value
-            if isinstance(root, ast.Name):
-                used.add(root.id)
-    # Names re-exported via __all__ strings count as used.
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Constant) and isinstance(node.value, str):
-            used.add(node.value)
-    return [
-        (lineno, name)
-        for name, lineno in sorted(imported.items(), key=lambda kv: kv[1])
-        if name not in used
-    ]
-
-
 def run_fallback(repo: Path) -> int:
-    print("[lint] ruff not found; running offline fallback checks")
-    status = 0
+    """Byte-compile src/ and tests/ when ruff is unavailable.
+
+    Unused-import and syntax sweeps moved into the analysis layer (rules
+    ``unused-import`` and ``syntax``), so the fallback only keeps the
+    one thing the AST pass cannot do: prove the files byte-compile.
+    """
+    print("[lint] ruff not found; byte-compiling src/ and tests/ instead")
     ok = compileall.compile_dir(
         str(repo / "src"), quiet=1, maxlevels=10
     ) and compileall.compile_dir(str(repo / "tests"), quiet=1)
-    if not ok:
-        status = 1
-    for path in iter_py_files(repo):
-        source = path.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError as error:
-            print(f"{path}:{error.lineno}: syntax error: {error.msg}")
-            status = 1
-            continue
-        for lineno, name in unused_imports(tree, source):
-            print(f"{path.relative_to(repo)}:{lineno}: unused import {name!r}")
-            status = 1
-    return status
+    return 0 if ok else 1
 
 
-def main() -> int:
-    repo = Path(__file__).resolve().parent.parent
-    status = run_ruff(repo) if shutil.which("ruff") else run_fallback(repo)
-    return run_docstring_gate(repo) or status
+def main(argv: list[str] | None = None) -> int:
+    """Run the gate; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the analysis report as JSON on stdout",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="also write the JSON analysis report to PATH",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this analysis rule id (repeatable; "
+        "syntax/suppression meta-rules always run)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--skip-ruff",
+        action="store_true",
+        help="skip the ruff/byte-compile layer (analysis only)",
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in builtin_rules() + rules:
+            print(f"{rule.id:18s} {rule.description}")
+        return 0
+
+    lint_status = 0
+    if not args.skip_ruff:
+        lint_status = (
+            run_ruff(REPO) if shutil.which("ruff") else run_fallback(REPO)
+        )
+
+    try:
+        report = run_analysis(REPO, rules, rule_ids=args.rule)
+    except ValueError as error:
+        print(f"[lint] {error}", file=sys.stderr)
+        return 2
+
+    rendered_json = format_json(report)
+    if args.json_out:
+        Path(args.json_out).write_text(rendered_json + "\n", encoding="utf-8")
+    if args.json:
+        print(rendered_json)
+    else:
+        print(format_human(report))
+
+    return lint_status or (0 if report.ok else 1)
 
 
 if __name__ == "__main__":

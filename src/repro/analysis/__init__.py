@@ -1,0 +1,88 @@
+"""AST-based invariant checkers for the repro codebase.
+
+The runtime test suite proves behavior on the inputs it runs; the rules
+in this package prove *structural* invariants over every file that
+parses — properties that are cheap to state, expensive to regress, and
+invisible to example-based tests:
+
+``determinism``
+    Modules on the byte-identity surface (kernels, the LF applier, DFS,
+    sinks, checkpoints, serving) must not reach for wall clocks,
+    unseeded randomness, or bare-set iteration orders.
+``contract-closure``
+    Every namespaced counter/gauge/histogram key emitted anywhere in
+    ``src/`` appears in a pinned contract tuple, and every contracted
+    key is still emitted — both directions, statically.
+``lock-discipline``
+    In thread-starting classes, attributes mutated from both the thread
+    target and public methods are only touched under ``self._lock``.
+``resource-safety``
+    Record writers, DFS read handles, pools, and threads are released
+    on all paths or explicitly change owners.
+``unused-import`` / ``docstring`` / ``syntax`` / ``suppression``
+    The long-standing lint gates, ported onto the same framework.
+
+Entry point is :func:`repro.analysis.run_analysis` (used by
+``scripts/lint.py``); intentional violations carry inline
+``# repro: allow[rule-id] reason`` suppressions, and pre-existing
+findings can be grandfathered in ``scripts/analysis_baseline.json``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contracts import ContractClosureRule
+from repro.analysis.determinism import DeterminismRule
+from repro.analysis.docstrings import DOCSTRING_ENFORCED, DocstringRule
+from repro.analysis.framework import (
+    BASELINE_PATH,
+    DEFAULT_TARGETS,
+    AnalysisReport,
+    Finding,
+    ParsedModule,
+    Rule,
+    SuppressionIndex,
+    collect_modules,
+    format_human,
+    format_json,
+    load_baseline,
+    run_analysis,
+)
+from repro.analysis.imports import UnusedImportRule
+from repro.analysis.locks import LockDisciplineRule
+from repro.analysis.resources import ResourceSafetyRule
+
+__all__ = [
+    "AnalysisReport",
+    "BASELINE_PATH",
+    "ContractClosureRule",
+    "DEFAULT_TARGETS",
+    "DOCSTRING_ENFORCED",
+    "DeterminismRule",
+    "DocstringRule",
+    "Finding",
+    "LockDisciplineRule",
+    "ParsedModule",
+    "ResourceSafetyRule",
+    "Rule",
+    "SuppressionIndex",
+    "UnusedImportRule",
+    "collect_modules",
+    "default_rules",
+    "format_human",
+    "format_json",
+    "load_baseline",
+    "run_analysis",
+]
+
+
+def default_rules() -> list[Rule]:
+    """The full checker suite in rule-id order, freshly instantiated."""
+    rules = [
+        ContractClosureRule(),
+        DeterminismRule(),
+        DocstringRule(),
+        LockDisciplineRule(),
+        ResourceSafetyRule(),
+        UnusedImportRule(),
+    ]
+    return sorted(rules, key=lambda rule: rule.id)

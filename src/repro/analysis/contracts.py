@@ -1,0 +1,224 @@
+"""Contract-closure checker for counter, gauge, and histogram keys.
+
+The repo pins its observability surfaces as code-level contracts —
+``COUNTER_CONTRACT`` / ``CONDITIONAL_COUNTER_KEYS`` (streaming),
+``SERVING_COUNTER_CONTRACT`` / ``SERVING_CONDITIONAL_COUNTER_KEYS``
+(serving), and ``HISTOGRAM_CONTRACT`` / ``TELEMETRY_COUNTER_CONTRACT``
+/ ``TELEMETRY_GAUGE_CONTRACT`` (telemetry) — and ``docs/OPERATIONS.md``
+tables are diffed against those tuples by ``tests/test_docs.py``. What
+the runtime tests cannot prove is *closure*: that every key the code
+actually emits is in some contract, and every contracted key is still
+emitted somewhere. This rule proves both directions statically:
+
+* it parses the contract tuples straight out of the defining modules'
+  ASTs (no imports — the checker runs on any tree that parses);
+* it extracts every **constant, namespaced** (``family/name``) string
+  key passed to ``.increment(...)`` / ``.counter(...)`` (counters),
+  ``.gauge(...)`` (gauges), ``.record(...)`` / ``.observe(...)`` /
+  ``.histogram(...)`` (histograms), plus string keys of dict literals
+  handed to ``encode_histograms`` / ``merge_histograms`` (the workers'
+  bytes-only IPC);
+* an emitted-but-uncontracted key is flagged at its emission site; a
+  contracted-but-never-emitted key is flagged at the tuple element's
+  own line.
+
+Dynamic keys (f-strings, variables — e.g. the per-sink
+``sink/<name>/us`` family) and un-namespaced per-LF counters
+(``examples_seen``) are outside the contract grammar and ignored, as
+documented in ``docs/OPERATIONS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.framework import Finding, ParsedModule, Rule
+
+__all__ = ["ContractClosureRule", "CONTRACT_SOURCES"]
+
+#: Where each contract tuple lives: ``relpath -> ((name, kind), ...)``.
+#: ``kind`` partitions the key namespace — a histogram key documented
+#: only as a counter is still a closure failure.
+CONTRACT_SOURCES: dict[str, tuple[tuple[str, str], ...]] = {
+    "src/repro/streaming/pipeline.py": (
+        ("COUNTER_CONTRACT", "counter"),
+        ("CONDITIONAL_COUNTER_KEYS", "counter"),
+    ),
+    "src/repro/serving/service.py": (
+        ("SERVING_COUNTER_CONTRACT", "counter"),
+        ("SERVING_CONDITIONAL_COUNTER_KEYS", "counter"),
+    ),
+    "src/repro/obs/__init__.py": (
+        ("HISTOGRAM_CONTRACT", "histogram"),
+        ("TELEMETRY_COUNTER_CONTRACT", "counter"),
+        ("TELEMETRY_GAUGE_CONTRACT", "gauge"),
+    ),
+}
+
+#: Method names whose first constant-string argument emits a key.
+_EMIT_ATTRS = {
+    "increment": "counter",
+    "counter": "counter",
+    "gauge": "gauge",
+    "record": "histogram",
+    "observe": "histogram",
+    "histogram": "histogram",
+}
+
+#: Functions whose dict-literal argument's string keys name histograms
+#: (worker-side telemetry rides bytes-only IPC through these).
+_DICT_EMITTERS = {"encode_histograms", "merge_histograms"}
+
+#: The instrument layer itself: its methods take key *variables*, and
+#: its docstrings/doctests would otherwise read as emissions.
+_EXCLUDED_MODULES = {
+    "src/repro/mapreduce/counters.py",
+    "src/repro/obs/registry.py",
+    "src/repro/obs/histogram.py",
+}
+
+
+def _is_key(value: object) -> bool:
+    """Contract grammar: lowercase/underscore segments joined by ``/``."""
+    if not isinstance(value, str) or "/" not in value:
+        return False
+    return all(
+        segment and segment.replace("_", "a").isalnum()
+        for segment in value.split("/")
+    )
+
+
+class ContractClosureRule(Rule):
+    """Emitted keys == contracted keys, in both directions, per kind."""
+
+    id = "contract-closure"
+    description = (
+        "every namespaced counter/gauge/histogram key emitted in src/ "
+        "must be in a pinned contract tuple, and vice versa"
+    )
+    targets = ("src",)
+
+    def __init__(
+        self,
+        contract_sources: dict[str, tuple[tuple[str, str], ...]] | None = None,
+    ) -> None:
+        """Optionally point the rule at different contract modules."""
+        self.contract_sources = (
+            CONTRACT_SOURCES if contract_sources is None else contract_sources
+        )
+
+    # ------------------------------------------------------------------
+    # extraction
+    # ------------------------------------------------------------------
+    def _contracted(
+        self, modules: Sequence[ParsedModule]
+    ) -> dict[str, dict[str, tuple[str, int]]]:
+        """``kind -> key -> (relpath, line)`` from the contract tuples."""
+        contracted: dict[str, dict[str, tuple[str, int]]] = {
+            "counter": {},
+            "gauge": {},
+            "histogram": {},
+        }
+        by_path = {module.relpath: module for module in modules}
+        for relpath, names in self.contract_sources.items():
+            module = by_path.get(relpath)
+            if module is None or module.tree is None:
+                continue
+            wanted = dict(names)
+            for node in module.tree.body:
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in wanted
+                    ):
+                        kind = wanted[target.id]
+                        for element in ast.walk(node.value):
+                            if isinstance(
+                                element, ast.Constant
+                            ) and _is_key(element.value):
+                                contracted[kind][element.value] = (
+                                    relpath,
+                                    element.lineno,
+                                )
+        return contracted
+
+    def _emitted(
+        self, modules: Sequence[ParsedModule]
+    ) -> dict[str, dict[str, list[tuple[str, int]]]]:
+        """``kind -> key -> emission sites`` across the scanned modules."""
+        emitted: dict[str, dict[str, list[tuple[str, int]]]] = {
+            "counter": {},
+            "gauge": {},
+            "histogram": {},
+        }
+        for module in modules:
+            if module.tree is None or module.relpath in _EXCLUDED_MODULES:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                for kind, key in self._call_keys(node):
+                    emitted[kind].setdefault(key, []).append(
+                        (module.relpath, node.lineno)
+                    )
+        return emitted
+
+    @staticmethod
+    def _call_keys(node: ast.Call) -> Iterator[tuple[str, str]]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            kind = _EMIT_ATTRS.get(func.attr)
+            if kind and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and _is_key(arg.value):
+                    yield kind, arg.value
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else None
+        )
+        if name in _DICT_EMITTERS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Dict):
+                    for key in arg.keys:
+                        if isinstance(key, ast.Constant) and _is_key(
+                            key.value
+                        ):
+                            yield "histogram", key.value
+
+    # ------------------------------------------------------------------
+    # closure
+    # ------------------------------------------------------------------
+    def check_repo(self, modules: Sequence[ParsedModule]) -> Iterator[Finding]:
+        """Diff emitted keys against contracted keys, both directions."""
+        contracted = self._contracted(modules)
+        emitted = self._emitted(modules)
+        for kind in ("counter", "gauge", "histogram"):
+            for key, sites in sorted(emitted[kind].items()):
+                if key not in contracted[kind]:
+                    for relpath, line in sites:
+                        yield Finding(
+                            relpath,
+                            line,
+                            self.id,
+                            f"{kind} key '{key}' is emitted but absent "
+                            f"from every pinned {kind} contract tuple — "
+                            "add it to the contract (and its "
+                            "docs/OPERATIONS.md table) or rename it",
+                        )
+            for key, (relpath, line) in sorted(contracted[kind].items()):
+                if key not in emitted[kind]:
+                    yield Finding(
+                        relpath,
+                        line,
+                        self.id,
+                        f"{kind} key '{key}' is contracted but no longer "
+                        "emitted anywhere in src/ — delete it from the "
+                        "contract (and its docs/OPERATIONS.md table) or "
+                        "restore the emission",
+                    )

@@ -1,0 +1,147 @@
+"""Unused-import checker (the offline stand-in for Pyflakes F401).
+
+Historic bug this module fixes: the old ``scripts/lint.py`` sweep
+treated **any** string constant in a module as a potential re-export,
+so a docstring that merely mentioned an imported name masked the unused
+import entirely. The exemption is now restricted to strings inside an
+``__all__`` assignment (including ``__all__ +=`` extensions), which is
+the only construct that actually re-exports by name.
+
+Quoted forward-reference annotations (``x: "LabelServer"``) are still
+honored: annotation strings are parsed and the names inside them count
+as uses, so the stricter rule does not flag imports used only in type
+positions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import (
+    DEFAULT_TARGETS,
+    Finding,
+    ParsedModule,
+    Rule,
+)
+
+__all__ = ["UnusedImportRule", "module_import_findings"]
+
+
+def _imported_names(tree: ast.Module) -> dict[str, int]:
+    """Module-level imported bindings: ``name -> lineno``."""
+    imported: dict[str, int] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = (alias.asname or alias.name).split(".")[0]
+                imported[name] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imported[alias.asname or alias.name] = node.lineno
+    return imported
+
+
+def _all_exports(tree: ast.Module) -> set[str]:
+    """String constants inside ``__all__`` assignments only."""
+    names: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        if not any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in targets
+        ):
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                names.add(sub.value)
+    return names
+
+
+def _annotation_names(tree: ast.Module) -> set[str]:
+    """Names referenced inside *string* (forward-ref) annotations."""
+    names: set[str] = set()
+    annotations: list[ast.expr] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            annotations.append(node.annotation)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                annotations.append(node.returns)
+            for arg in (
+                node.args.args
+                + node.args.posonlyargs
+                + node.args.kwonlyargs
+                + [node.args.vararg, node.args.kwarg]
+            ):
+                if arg is not None and arg.annotation is not None:
+                    annotations.append(arg.annotation)
+    for annotation in annotations:
+        for sub in ast.walk(annotation):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                try:
+                    parsed = ast.parse(sub.value, mode="eval")
+                except SyntaxError:
+                    continue
+                for name in ast.walk(parsed):
+                    if isinstance(name, ast.Name):
+                        names.add(name.id)
+    return names
+
+
+def _used_names(tree: ast.Module) -> set[str]:
+    """Every Name referenced anywhere (attribute chains count the root)."""
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            root: ast.expr = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                used.add(root.id)
+    return used
+
+
+def module_import_findings(tree: ast.Module) -> list[tuple[int, str]]:
+    """``(lineno, name)`` for each unused module-level import."""
+    imported = _imported_names(tree)
+    if not imported:
+        return []
+    used = _used_names(tree) | _all_exports(tree) | _annotation_names(tree)
+    return [
+        (lineno, name)
+        for name, lineno in sorted(imported.items(), key=lambda kv: kv[1])
+        if name not in used
+    ]
+
+
+class UnusedImportRule(Rule):
+    """Module-level imports must be referenced, re-exported, or removed."""
+
+    id = "unused-import"
+    description = (
+        "imports must be used, listed in __all__, or referenced by a "
+        "forward-ref annotation"
+    )
+    targets = DEFAULT_TARGETS
+
+    def check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        """Flag each unused module-level import in one file."""
+        if module.tree is None:
+            return
+        for lineno, name in module_import_findings(module.tree):
+            yield module.finding(
+                self.id,
+                lineno,
+                f"import {name!r} is never used in this module",
+            )

@@ -1,0 +1,403 @@
+"""Lock-discipline checker for thread-spawning classes.
+
+Classes that start threads (`LabelServer`, the telemetry exporter, the
+micro-batch pipeline's ingest threads, …) share instance state between
+the thread body and the public API. The invariant this rule enforces:
+an instance attribute that is **mutated both from thread-side code and
+from public-side code** is a shared variable, and every access to it
+must sit inside a ``with self.<lock>`` block.
+
+How the rule reasons, per class that constructs ``threading.Thread``:
+
+* *thread entries* are ``Thread(target=self.method)`` targets and
+  ``Thread(target=local_function)`` closures defined in a method;
+* the self-method call graph is chased from the entries (thread side)
+  and from every public method (public side) — a private helper called
+  from ``predict()`` is public-side code;
+* *mutations* are assignments/augmented assignments to ``self.attr``
+  (or a subscript of it) and calls to known mutating container methods
+  (``append``, ``popleft``, ``update``, …);
+* attributes holding intrinsically thread-safe objects — locks,
+  conditions, events, semaphores, queues, and the repo's own
+  ``CounterSet`` / ``Gauge`` / ``MetricsRegistry`` / ``Histogram`` —
+  are exempt, as are mutations inside ``__init__`` (it runs before any
+  thread exists);
+* a ``with self.X`` block counts as locked when ``X`` was assigned a
+  ``threading.Lock/RLock/Condition`` anywhere in the class, or its
+  name contains ``lock``.
+
+The analysis is lexical, not a happens-before proof: it cannot see
+attributes reached through other objects or decide that an unlocked
+read is benign. It is designed to make the *protected-by-default*
+idiom checkable and every exception explicit via
+``# repro: allow[lock-discipline] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.astutil import import_aliases, resolve_call
+from repro.analysis.framework import Finding, ParsedModule, Rule
+
+__all__ = ["LockDisciplineRule"]
+
+#: Method names that mutate common containers in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "put",
+        "put_nowait",
+        "push",
+        "sort",
+        "reverse",
+        "write",
+    }
+)
+
+#: Constructors whose instances are safe to share without the class
+#: lock (they carry their own synchronization).
+THREAD_SAFE_CONSTRUCTORS = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "Queue",
+        "SimpleQueue",
+        "LifoQueue",
+        "PriorityQueue",
+        "CounterSet",
+        "Gauge",
+        "MetricsRegistry",
+        "Histogram",
+    }
+)
+
+#: Constructors that make an attribute usable as the guard in
+#: ``with self.X`` (Condition wraps a lock, so it qualifies).
+LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock", "Condition"})
+
+
+@dataclass
+class _Access:
+    """One appearance of ``self.attr`` inside a method body."""
+
+    attr: str
+    line: int
+    locked: bool
+    mutating: bool
+
+
+@dataclass
+class _Method:
+    """Per-method facts the class-level analysis consumes."""
+
+    name: str
+    accesses: list[_Access] = field(default_factory=list)
+    calls: set[str] = field(default_factory=set)
+    thread_targets: set[str] = field(default_factory=set)
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collect self-attribute accesses, self-calls, and thread spawns.
+
+    Nested function bodies are attributed to the enclosing method
+    unless the nested function is itself a thread target (the caller
+    splits those out as pseudo-methods).
+    """
+
+    def __init__(
+        self,
+        lock_attrs: set[str],
+        aliases: dict[str, str],
+        skip_functions: set[str],
+    ) -> None:
+        self.lock_attrs = lock_attrs
+        self.aliases = aliases
+        self.skip_functions = skip_functions
+        self.method = _Method(name="")
+        self._lock_depth = 0
+
+    # -- locking context ------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(
+            self._is_lock_expr(item.context_expr) for item in node.items
+        )
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        if locked:
+            self._lock_depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        if locked:
+            self._lock_depth -= 1
+
+    def _is_lock_expr(self, expr: ast.expr) -> bool:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr in self.lock_attrs or "lock" in expr.attr
+        return False
+
+    # -- accesses and mutations ----------------------------------------
+    def _self_attr(self, expr: ast.expr) -> str | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        return None
+
+    def _record(self, attr: str, line: int, mutating: bool) -> None:
+        self.method.accesses.append(
+            _Access(attr, line, self._lock_depth > 0, mutating)
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = self._self_attr(node)
+        if attr is not None:
+            self._record(
+                attr, node.lineno, isinstance(node.ctx, (ast.Store, ast.Del))
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # self.x[k] = v / del self.x[k] mutate x even though the
+        # Attribute itself is only loaded.
+        attr = self._self_attr(node.value)
+        if attr is not None and isinstance(node.ctx, (ast.Store, ast.Del)):
+            self._record(attr, node.lineno, True)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = self._self_attr(node.target)
+        if attr is not None:
+            self._record(attr, node.lineno, True)
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            owner = self._self_attr(func.value)
+            if owner is not None and func.attr in MUTATOR_METHODS:
+                self._record(owner, node.lineno, True)
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                self.method.calls.add(func.attr)
+        if resolve_call(node, self.aliases) == "threading.Thread":
+            for keyword in node.keywords:
+                if keyword.arg != "target":
+                    continue
+                target_attr = self._self_attr(keyword.value)
+                if target_attr is not None:
+                    self.method.thread_targets.add(target_attr)
+                elif isinstance(keyword.value, ast.Name):
+                    self.method.thread_targets.add(keyword.value.id)
+        self.generic_visit(node)
+
+    # -- nested scopes --------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name not in self.skip_functions:
+            for statement in node.body:
+                self.visit(statement)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.visit(node.body)
+
+
+class LockDisciplineRule(Rule):
+    """Shared mutable attributes of thread-spawning classes need locks."""
+
+    id = "lock-discipline"
+    description = (
+        "in classes that start threads, attributes mutated from both a "
+        "thread body and a public method must be accessed under the lock"
+    )
+    targets = ("src",)
+
+    def check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        """Analyze every thread-spawning class in one module."""
+        if module.tree is None:
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node, aliases)
+
+    # ------------------------------------------------------------------
+    # per-class analysis
+    # ------------------------------------------------------------------
+    def _check_class(
+        self,
+        module: ParsedModule,
+        cls: ast.ClassDef,
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        methods = [
+            item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        lock_attrs, exempt_attrs = self._classify_attrs(methods, aliases)
+
+        # Pass 1: find thread-target closure names so pass 2 can carve
+        # their bodies out of the enclosing methods.
+        closure_targets: set[str] = set()
+        for method in methods:
+            scan = _MethodScanner(lock_attrs, aliases, set())
+            scan.method = _Method(name=method.name)
+            for statement in method.body:
+                scan.visit(statement)
+            closure_targets |= scan.method.thread_targets
+
+        scanned: dict[str, _Method] = {}
+        thread_entries: set[str] = set()
+        for method in methods:
+            scan = _MethodScanner(lock_attrs, aliases, closure_targets)
+            scan.method = _Method(name=method.name)
+            for statement in method.body:
+                scan.visit(statement)
+            scanned[method.name] = scan.method
+            thread_entries |= scan.method.thread_targets
+            # Thread-target closures become pseudo-methods of the class.
+            for nested in ast.walk(method):
+                if (
+                    isinstance(nested, ast.FunctionDef)
+                    and nested.name in closure_targets
+                    and nested.name not in scanned
+                ):
+                    inner = _MethodScanner(lock_attrs, aliases, set())
+                    inner.method = _Method(name=nested.name)
+                    for statement in nested.body:
+                        inner.visit(statement)
+                    scanned[nested.name] = inner.method
+
+        if not thread_entries:
+            return
+
+        thread_side = self._reachable(scanned, thread_entries)
+        public_entries = {
+            name
+            for name in scanned
+            if not name.startswith("_") or name in {"__enter__", "__exit__"}
+        }
+        public_side = self._reachable(scanned, public_entries)
+
+        shared = self._shared_attrs(
+            scanned, thread_side, public_side, exempt_attrs
+        )
+        seen: set[tuple[str, int]] = set()
+        for name in sorted(thread_side | public_side):
+            method = scanned.get(name)
+            if method is None or name == "__init__":
+                continue
+            for access in method.accesses:
+                if access.attr not in shared or access.locked:
+                    continue
+                if (access.attr, access.line) in seen:
+                    continue
+                seen.add((access.attr, access.line))
+                side = "thread" if name in thread_side else "public"
+                yield module.finding(
+                    self.id,
+                    access.line,
+                    f"{cls.name}.{name} accesses self.{access.attr} "
+                    f"outside the lock ({side}-side code; the attribute "
+                    "is mutated from both thread and public methods)",
+                )
+
+    @staticmethod
+    def _classify_attrs(
+        methods: list, aliases: dict[str, str]
+    ) -> tuple[set[str], set[str]]:
+        """Attributes assigned lock-like / thread-safe constructor calls."""
+        lock_attrs: set[str] = set()
+        exempt_attrs: set[str] = set()
+        for method in methods:
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                value = node.value
+                if not isinstance(value, ast.Call):
+                    continue
+                qualified = resolve_call(value, aliases)
+                if qualified is None:
+                    continue
+                ctor = qualified.rsplit(".", 1)[-1]
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        if ctor in LOCK_CONSTRUCTORS:
+                            lock_attrs.add(target.attr)
+                        if ctor in THREAD_SAFE_CONSTRUCTORS:
+                            exempt_attrs.add(target.attr)
+        return lock_attrs, exempt_attrs
+
+    @staticmethod
+    def _reachable(
+        scanned: dict[str, _Method], entries: set[str]
+    ) -> set[str]:
+        """Transitive closure over the self-method call graph."""
+        reached: set[str] = set()
+        frontier = [name for name in entries if name in scanned]
+        while frontier:
+            name = frontier.pop()
+            if name in reached:
+                continue
+            reached.add(name)
+            for callee in scanned[name].calls:
+                if callee in scanned and callee not in reached:
+                    frontier.append(callee)
+        return reached
+
+    @staticmethod
+    def _shared_attrs(
+        scanned: dict[str, _Method],
+        thread_side: set[str],
+        public_side: set[str],
+        exempt_attrs: set[str],
+    ) -> set[str]:
+        """Attributes mutated on both sides (outside ``__init__``)."""
+        thread_mutated: set[str] = set()
+        public_mutated: set[str] = set()
+        for name, method in scanned.items():
+            if name == "__init__":
+                continue
+            mutated = {a.attr for a in method.accesses if a.mutating}
+            if name in thread_side:
+                thread_mutated |= mutated
+            if name in public_side:
+                public_mutated |= mutated
+        return (thread_mutated & public_mutated) - exempt_attrs

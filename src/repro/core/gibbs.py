@@ -170,12 +170,15 @@ class GibbsLabelModel:
             self.beta = np.zeros(n)
         rng = np.random.default_rng(self.config.seed)
         processed = 0
+        # repro: allow[determinism] benchmark helper measures wall-clock throughput; never feeds label artifacts
         start = time.perf_counter()
+        # repro: allow[determinism] wall-clock budget is this method's contract (budget_seconds)
         while time.perf_counter() - start < budget_seconds:
             idx = rng.integers(0, len(L), size=self.config.batch_size)
             batch = L[idx]
             y = self._gibbs_sweep(batch, rng)
             self._complete_data_step(batch, y)
             processed += len(batch)
+        # repro: allow[determinism] elapsed time is the measurement itself, not a label input
         elapsed = time.perf_counter() - start
         return processed / elapsed

@@ -185,6 +185,7 @@ def _run_fused_lf_group(
 
     specs = [lf.fused_spec for _, lf in fused]
     names = [lf.name for _, lf in fused]
+    # repro: allow[determinism] wall_seconds is reporting-only; vote shards never see it
     start = time.perf_counter()
 
     def batch_mapper(ctx: MapContext, records: list[dict]) -> None:
@@ -253,6 +254,7 @@ def _run_fused_lf_group(
         # after this point, so release the bytes.
         dfs.delete(combined_path)
 
+    # repro: allow[determinism] group wall-clock feeds LFRunResult reporting, not artifacts
     wall = time.perf_counter() - start
     counters = result.counters
     results: dict[int, LFRunResult] = {}
@@ -290,6 +292,7 @@ class LFApplier:
         self._batch_size = batch_size
 
     def apply(self, lfs: Sequence[AbstractLabelingFunction]) -> ApplyReport:
+        # repro: allow[determinism] ApplyReport.wall_seconds is throughput reporting only
         start = time.perf_counter()
         example_ids = [
             record["example_id"]
@@ -357,6 +360,7 @@ class LFApplier:
                 matrix[np.asarray(rows), j] = np.asarray(values, dtype=np.int8)
 
         label_matrix = LabelMatrix(matrix, example_ids, [lf.name for lf in lfs])
+        # repro: allow[determinism] wall_seconds is throughput reporting only
         wall = time.perf_counter() - start
         return ApplyReport(
             label_matrix=label_matrix,
@@ -459,14 +463,14 @@ def apply_lfs_in_memory(
             for start in range(0, n, batch_size):
                 block = examples[start:start + batch_size]
                 if observed:
+                    # repro: allow[determinism] timing only taken when telemetry/tracing is on; labels untouched
                     block_start = time.perf_counter()
                 matrix[start:start + len(block)] = label_example_block(
                     lfs, block, fused_cols
                 )
                 if observed:
-                    block_us = int(
-                        (time.perf_counter() - block_start) * 1e6
-                    )
+                    # repro: allow[determinism] histogram payload only; off when telemetry is off
+                    block_us = int((time.perf_counter() - block_start) * 1e6)
                     if telemetry is not None:
                         telemetry.record("offline/label_block_us", block_us)
                         telemetry.counter("offline/blocks")

@@ -18,8 +18,12 @@ a run without (gated by ``benchmarks/bench_telemetry.py``, along with a
 >= 0.9x telemetry-on/off throughput floor).
 
 :data:`HISTOGRAM_CONTRACT` pins the histogram keys the wired subsystems
-emit; ``docs/OPERATIONS.md`` documents them and ``tests/test_docs.py``
-diffs the two.
+emit, and :data:`TELEMETRY_COUNTER_CONTRACT` /
+:data:`TELEMETRY_GAUGE_CONTRACT` pin the registry counter and gauge
+keys that ride the same telemetry registry; ``docs/OPERATIONS.md``
+documents them, ``tests/test_docs.py`` diffs the tables against the
+tuples, and the ``contract-closure`` rule in :mod:`repro.analysis`
+proves every emission site is covered.
 """
 
 from repro.obs.exporter import TelemetryExporter
@@ -59,6 +63,8 @@ __all__ = [
     "TRACE_SAMPLE_ENV",
     "TelemetryExporter",
     "HISTOGRAM_CONTRACT",
+    "TELEMETRY_COUNTER_CONTRACT",
+    "TELEMETRY_GAUGE_CONTRACT",
 ]
 
 #: Histogram keys the wired subsystems emit, by layer. Pinned here so
@@ -81,4 +87,24 @@ HISTOGRAM_CONTRACT = (
     # label server (per request / per flush)
     "serving/latency_us",
     "serving/batch_size",
+)
+
+#: Counter keys emitted through the shared telemetry registry (as
+#: opposed to the streaming/serving ``CounterSet`` contracts, which
+#: live next to their pipelines). Same docs/tests/analysis coverage as
+#: :data:`HISTOGRAM_CONTRACT`.
+TELEMETRY_COUNTER_CONTRACT = (
+    # offline batched applier (per block)
+    "offline/blocks",
+    "offline/examples",
+    # parallel executor driver side
+    "parallel/blocks",
+    "parallel/retries",
+    "parallel/pool_restarts",
+)
+
+#: Gauge keys emitted through the shared telemetry registry.
+TELEMETRY_GAUGE_CONTRACT = (
+    # streaming pipeline bounded-queue residency (backpressure signal)
+    "stream/resident_records",
 )

@@ -197,6 +197,7 @@ class _Pending:
         self.example = example
         self.event = threading.Event()
         self.result: ServeResult | None = None
+        # repro: allow[determinism] queue-latency measurement; labels depend only on the model generation
         self.enqueued = time.perf_counter()
 
 
@@ -390,11 +391,13 @@ class LabelServer:
                     return None
                 self._wake.wait(0.05)
             batch = [self._queue.popleft()]
+            # repro: allow[determinism] flush_ms batching deadline — latency SLO, not label math
             deadline = time.perf_counter() + self.config.flush_ms / 1000.0
             while len(batch) < self.config.max_batch:
                 if self._queue:
                     batch.append(self._queue.popleft())
                     continue
+                # repro: allow[determinism] remaining wait in the flush window; affects batching, not labels
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0 or self._stop.is_set():
                     break
@@ -411,6 +414,7 @@ class LabelServer:
 
     def _score_batch(self, batch: list[_Pending]) -> None:
         """Label + score one micro-batch against one captured generation."""
+        # repro: allow[determinism] trace-span timing; posteriors are pure functions of the generation
         flush_start = time.perf_counter()
         # One generation snapshot per batch: every response in this
         # batch is scored by the same immutable object, even if the
@@ -443,6 +447,7 @@ class LabelServer:
         if self.telemetry is not None:
             self.telemetry.record("serving/batch_size", len(batch))
         if self.tracer is not None:
+            # repro: allow[determinism] trace payload only; emitted solely when tracing is on
             flush_us = int((time.perf_counter() - flush_start) * 1e6)
             self.tracer.emit(
                 "serving.flush",
@@ -473,6 +478,7 @@ class LabelServer:
         fired: int,
     ) -> None:
         """Publish one result, wake its waiter, release its residency."""
+        # repro: allow[determinism] latency_ms is observability metadata on the response envelope
         latency_ms = 1e3 * (time.perf_counter() - pending.enqueued)
         pending.result = ServeResult(
             example_id=pending.example.example_id,

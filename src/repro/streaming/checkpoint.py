@@ -614,6 +614,7 @@ class CheckpointedStream:
             )
 
     def _write_checkpoint(self, seq: int) -> str:
+        # repro: allow[determinism] times the write for stream/checkpoint_us; checkpoint bytes are clock-free
         start = time.perf_counter()
         meta = {
             "batch_size": self.batch_size,
@@ -641,6 +642,7 @@ class CheckpointedStream:
         )
         self._last_checkpoint_seq = seq
         self._checkpoints_written += 1
+        # repro: allow[determinism] telemetry payload only; not written into the checkpoint
         checkpoint_us = int((time.perf_counter() - start) * 1e6)
         if self.telemetry is not None:
             self.telemetry.record("stream/checkpoint_us", checkpoint_us)

@@ -126,17 +126,20 @@ class RecordStreamSource:
             path = self._paths[index]
             # open_read stats the file, so missing shards fail fast here.
             handle = self._dfs.open_read(path)
-            if start is not None and index == first_shard and start.offset:
-                if start.offset > handle.size:
-                    raise ValueError(
-                        f"cursor offset {start.offset} beyond {path} "
-                        f"({handle.size} bytes)"
-                    )
-                handle.seek(start.offset)
-            for record, end in stream_records_with_offsets(
-                handle, self._chunk_size
-            ):
-                yield Example.from_record(record), SourceCursor(index, end)
+            try:
+                if start is not None and index == first_shard and start.offset:
+                    if start.offset > handle.size:
+                        raise ValueError(
+                            f"cursor offset {start.offset} beyond {path} "
+                            f"({handle.size} bytes)"
+                        )
+                    handle.seek(start.offset)
+                for record, end in stream_records_with_offsets(
+                    handle, self._chunk_size
+                ):
+                    yield Example.from_record(record), SourceCursor(index, end)
+            finally:
+                handle.close()
 
 
 class MemorySource:

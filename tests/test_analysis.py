@@ -1,0 +1,618 @@
+"""Tests for the :mod:`repro.analysis` invariant-checker suite.
+
+Each rule gets a fixture mini-repo with at least one planted violation,
+asserted at its exact ``file:line``; the framework mechanics
+(suppression comments, empty-reason policing, the line-free baseline,
+rule filtering) get their own coverage; and the closure tests prove the
+*live* repository passes the full suite with zero unsuppressed findings
+while a planted undocumented counter key provably fails it.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ContractClosureRule,
+    DeterminismRule,
+    DocstringRule,
+    LockDisciplineRule,
+    ResourceSafetyRule,
+    Rule,
+    UnusedImportRule,
+    collect_modules,
+    default_rules,
+    run_analysis,
+)
+from repro.analysis.framework import BASELINE_PATH, ParsedModule, builtin_rules
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def make_repo(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Write a fixture mini-repo of ``relpath -> dedented source``."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path
+
+
+def line_of(repo: Path, relpath: str, needle: str) -> int:
+    """1-based line of the first line containing ``needle``."""
+    text = (repo / relpath).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"{needle!r} not found in {relpath}")
+
+
+def findings_for(report, rule_id: str):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+class TestDeterminismRule:
+    SURFACE = ("src/repro/core/",)
+
+    def test_planted_violations_at_exact_lines(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/repro/core/fake.py": """\
+                    import random
+                    import time
+
+                    import numpy as np
+
+
+                    def stamp():
+                        return time.time()  # clock
+
+
+                    def draw():
+                        return random.random()  # global rng
+
+
+                    def legacy():
+                        return np.random.rand(3)  # legacy draw
+
+
+                    def seeded():
+                        return np.random.default_rng(7).integers(0, 9)
+
+
+                    def leak_order():
+                        for item in {"b", "a"}:  # set iter
+                            yield item
+                """,
+            },
+        )
+        report = run_analysis(repo, [DeterminismRule(surface=self.SURFACE)])
+        found = {
+            (f.line, f.message.split(":")[0].split(" on ")[0])
+            for f in findings_for(report, "determinism")
+        }
+        relpath = "src/repro/core/fake.py"
+        assert (line_of(repo, relpath, "# clock"), "call to time.time") in found
+        assert (
+            line_of(repo, relpath, "# global rng"),
+            "call to random.random",
+        ) in found
+        assert (
+            line_of(repo, relpath, "# legacy draw"),
+            "call to numpy.random.rand",
+        ) in found
+        set_lines = {
+            f.line
+            for f in findings_for(report, "determinism")
+            if "set literal" in f.message
+        }
+        assert line_of(repo, relpath, "# set iter") in set_lines
+        # Seeded construction is allowed: exactly the four planted hits.
+        assert len(findings_for(report, "determinism")) == 4
+
+    def test_off_surface_module_is_ignored(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/repro/other/timing.py": """\
+                    import time
+
+                    NOW = time.time()
+                """,
+            },
+        )
+        report = run_analysis(repo, [DeterminismRule(surface=self.SURFACE)])
+        assert not findings_for(report, "determinism")
+
+
+class TestSuppressions:
+    SURFACE = ("src/repro/core/",)
+
+    def _repo(self, tmp_path, comment: str) -> Path:
+        return make_repo(
+            tmp_path,
+            {
+                "src/repro/core/fake.py": f"""\
+                    import time
+
+                    {comment}
+                    NOW = time.time()
+                """,
+            },
+        )
+
+    def test_suppression_comment_silences_finding(self, tmp_path):
+        repo = self._repo(
+            tmp_path, "# repro: allow[determinism] startup stamp, not output"
+        )
+        report = run_analysis(repo, [DeterminismRule(surface=self.SURFACE)])
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["determinism"]
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        repo = self._repo(
+            tmp_path, "# repro: allow[resource-safety] wrong rule"
+        )
+        report = run_analysis(repo, [DeterminismRule(surface=self.SURFACE)])
+        assert [f.rule for f in report.findings] == ["determinism"]
+
+    def test_empty_reason_is_its_own_finding(self, tmp_path):
+        repo = self._repo(tmp_path, "# repro: allow[determinism]")
+        report = run_analysis(repo, [DeterminismRule(surface=self.SURFACE)])
+        # The violation is suppressed, but the reasonless comment gates.
+        assert [f.rule for f in report.findings] == ["suppression"]
+        assert report.findings[0].line == line_of(
+            repo, "src/repro/core/fake.py", "allow[determinism]"
+        )
+
+
+class TestBaseline:
+    def test_baselined_finding_is_grandfathered(self, tmp_path):
+        files = {
+            "src/repro/core/fake.py": """\
+                import time
+
+                NOW = time.time()
+            """,
+        }
+        repo = make_repo(tmp_path, files)
+        rule = DeterminismRule(surface=("src/repro/core/",))
+        first = run_analysis(repo, [rule])
+        assert len(first.findings) == 1
+        entry = first.findings[0].as_dict()
+        del entry["line"]  # the baseline matches line-free
+        (repo / BASELINE_PATH).parent.mkdir(parents=True, exist_ok=True)
+        (repo / BASELINE_PATH).write_text(json.dumps([entry]))
+        second = run_analysis(repo, [rule])
+        assert second.ok
+        assert [f.rule for f in second.grandfathered] == ["determinism"]
+
+
+class TestContractClosureRule:
+    SOURCES = {"src/contract.py": (("FAKE_CONTRACT", "counter"),)}
+
+    def _files(self, contract: str, emit: str) -> dict[str, str]:
+        return {
+            "src/contract.py": f"FAKE_CONTRACT = {contract}\n",
+            "src/emit.py": emit,
+        }
+
+    def test_closed_contract_passes(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            self._files(
+                '("jobs/started",)',
+                'def go(t):\n    t.counter("jobs/started")\n',
+            ),
+        )
+        report = run_analysis(
+            repo, [ContractClosureRule(contract_sources=self.SOURCES)]
+        )
+        assert report.ok
+
+    def test_undocumented_emission_flagged_at_site(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            self._files(
+                '("jobs/started",)',
+                "def go(t):\n"
+                '    t.counter("jobs/started")\n'
+                '    t.counter("jobs/rogue")  # planted\n',
+            ),
+        )
+        report = run_analysis(
+            repo, [ContractClosureRule(contract_sources=self.SOURCES)]
+        )
+        [finding] = findings_for(report, "contract-closure")
+        assert "'jobs/rogue'" in finding.message
+        assert finding.path == "src/emit.py"
+        assert finding.line == line_of(repo, "src/emit.py", "# planted")
+
+    def test_dead_contract_entry_flagged_at_tuple_line(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            self._files(
+                '(\n    "jobs/started",\n    "jobs/ghost",\n)',
+                'def go(t):\n    t.counter("jobs/started")\n',
+            ),
+        )
+        report = run_analysis(
+            repo, [ContractClosureRule(contract_sources=self.SOURCES)]
+        )
+        [finding] = findings_for(report, "contract-closure")
+        assert "'jobs/ghost'" in finding.message and "no longer" in finding.message
+        assert finding.path == "src/contract.py"
+        assert finding.line == line_of(repo, "src/contract.py", "jobs/ghost")
+
+    def test_kind_mismatch_is_a_closure_failure(self, tmp_path):
+        # A key documented as a counter but emitted as a histogram is
+        # flagged in both directions.
+        repo = make_repo(
+            tmp_path,
+            self._files(
+                '("jobs/latency",)',
+                'def go(t):\n    t.record("jobs/latency", 5)\n',
+            ),
+        )
+        report = run_analysis(
+            repo, [ContractClosureRule(contract_sources=self.SOURCES)]
+        )
+        messages = [f.message for f in findings_for(report, "contract-closure")]
+        assert len(messages) == 2
+        assert any("histogram key" in m and "emitted but" in m for m in messages)
+        assert any("counter key" in m and "no longer" in m for m in messages)
+
+    def test_planted_key_fails_against_live_repo(self, tmp_path):
+        """Acceptance: an undocumented counter key provably fails."""
+        planted = tmp_path / "src" / "planted.py"
+        planted.parent.mkdir(parents=True)
+        planted.write_text(
+            'def emit(telemetry):\n'
+            '    telemetry.counter("stream/totally_undocumented")\n',
+            encoding="utf-8",
+        )
+        modules = list(collect_modules(REPO, ("src",)).values())
+        modules.append(ParsedModule(tmp_path, planted))
+        findings = list(ContractClosureRule().check_repo(modules))
+        assert any(
+            "'stream/totally_undocumented'" in f.message
+            and f.path == "src/planted.py"
+            for f in findings
+        )
+        # And without the plant, the same sweep is clean.
+        assert not list(ContractClosureRule().check_repo(modules[:-1]))
+
+
+LOCKED_CLASS = """\
+    import threading
+
+
+    class Worker:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._buf = []
+            self._thread = None
+
+        def start(self):
+            self._thread = threading.Thread(target=self._run)
+            self._thread.start()
+
+        def _run(self):
+            with self._lock:
+                self._buf.append(1)
+
+        def push(self, item):
+            with self._lock:
+                self._buf.append(item)
+"""
+
+UNLOCKED_CLASS = """\
+    import threading
+
+
+    class Worker:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._buf = []
+            self._thread = None
+
+        def start(self):
+            self._thread = threading.Thread(target=self._run)
+            self._thread.start()
+
+        def _run(self):
+            self._buf.append(1)  # thread-side unlocked
+
+        def push(self, item):
+            self._buf.append(item)  # public-side unlocked
+"""
+
+
+class TestLockDisciplineRule:
+    def test_unlocked_shared_attr_flagged_on_both_sides(self, tmp_path):
+        repo = make_repo(tmp_path, {"src/worker.py": UNLOCKED_CLASS})
+        report = run_analysis(repo, [LockDisciplineRule()])
+        lines = {f.line for f in findings_for(report, "lock-discipline")}
+        assert line_of(repo, "src/worker.py", "# thread-side unlocked") in lines
+        assert line_of(repo, "src/worker.py", "# public-side unlocked") in lines
+        messages = {f.message for f in findings_for(report, "lock-discipline")}
+        assert any("self._buf" in m for m in messages)
+
+    def test_locked_class_passes(self, tmp_path):
+        repo = make_repo(tmp_path, {"src/worker.py": LOCKED_CLASS})
+        report = run_analysis(repo, [LockDisciplineRule()])
+        assert report.ok
+
+    def test_threadless_class_is_ignored(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/plain.py": """\
+                    class Plain:
+                        def __init__(self):
+                            self._buf = []
+
+                        def push(self, item):
+                            self._buf.append(item)
+                """,
+            },
+        )
+        report = run_analysis(repo, [LockDisciplineRule()])
+        assert report.ok
+
+    def test_closure_thread_target_counts_as_thread_side(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/closure.py": """\
+                    import threading
+
+
+                    class Pipeline:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self._pending = []
+
+                        def run(self):
+                            def produce():
+                                self._pending.append(1)  # closure unlocked
+
+                            thread = threading.Thread(target=produce)
+                            thread.start()
+                            self._pending.append(2)
+                            thread.join()
+                """,
+            },
+        )
+        report = run_analysis(repo, [LockDisciplineRule()])
+        lines = {f.line for f in findings_for(report, "lock-discipline")}
+        assert line_of(repo, "src/closure.py", "# closure unlocked") in lines
+
+
+class TestResourceSafetyRule:
+    def test_leaked_writer_flagged_at_binding(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/leak.py": """\
+                    from repro.dfs.records import RecordWriter
+
+
+                    def stage(dfs, path):
+                        writer = RecordWriter(dfs, path)  # leaked
+                        writer.write(b"payload")
+                """,
+            },
+        )
+        report = run_analysis(repo, [ResourceSafetyRule()])
+        [finding] = findings_for(report, "resource-safety")
+        assert finding.line == line_of(repo, "src/leak.py", "# leaked")
+        assert "'writer'" in finding.message
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            # with-block consumption
+            "    writer = RecordWriter(dfs, path)\n"
+            "    with writer:\n"
+            '        writer.write(b"payload")\n',
+            # release in finally
+            "    writer = RecordWriter(dfs, path)\n"
+            "    try:\n"
+            '        writer.write(b"payload")\n'
+            "    finally:\n"
+            "        writer.close()\n",
+            # abandon in except also counts as release
+            "    writer = RecordWriter(dfs, path)\n"
+            "    try:\n"
+            '        writer.write(b"payload")\n'
+            "    except Exception:\n"
+            "        writer.abandon()\n"
+            "        raise\n"
+            "    writer.close()\n",
+            # ownership escape: returned to the caller
+            "    writer = RecordWriter(dfs, path)\n"
+            "    return writer\n",
+        ],
+    )
+    def test_released_or_escaping_writer_passes(self, tmp_path, body):
+        source = (
+            "from repro.dfs.records import RecordWriter\n\n\n"
+            "def stage(dfs, path):\n" + body
+        )
+        repo = make_repo(tmp_path, {"src/ok.py": source})
+        report = run_analysis(repo, [ResourceSafetyRule()])
+        assert report.ok, [f.format() for f in report.findings]
+
+
+class TestUnusedImportRule:
+    def test_docstring_mention_no_longer_masks(self, tmp_path):
+        # The historic false negative: 'os' named in a docstring kept
+        # the unused import invisible to the old lint sweep.
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/fake.py": '''\
+                    """Helpers around os-level paths."""
+
+                    import os  # planted
+                ''',
+            },
+        )
+        report = run_analysis(repo, [UnusedImportRule()])
+        [finding] = findings_for(report, "unused-import")
+        assert finding.line == line_of(repo, "src/fake.py", "# planted")
+        assert "'os'" in finding.message
+
+    def test_dunder_all_reexport_counts_as_used(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/fake.py": """\
+                    from json import dumps
+
+                    __all__ = ["dumps"]
+                """,
+            },
+        )
+        report = run_analysis(repo, [UnusedImportRule()])
+        assert report.ok
+
+    def test_forward_ref_annotation_counts_as_used(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/fake.py": """\
+                    from decimal import Decimal
+
+
+                    def total(amount: "Decimal") -> "Decimal":
+                        return amount
+                """,
+            },
+        )
+        report = run_analysis(repo, [UnusedImportRule()])
+        assert report.ok
+
+
+class TestDocstringRule:
+    def test_missing_docstrings_flagged(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/pkg/mod.py": """\
+                    def documented():
+                        \"\"\"Has one.\"\"\"
+
+
+                    def naked():  # missing fn
+                        pass
+
+
+                    class Thing:  # missing class
+                        def method(self):  # missing method
+                            pass
+                """,
+            },
+        )
+        report = run_analysis(repo, [DocstringRule(enforced=("src/pkg",))])
+        by_line = {
+            f.line: f.message for f in findings_for(report, "docstring")
+        }
+        relpath = "src/pkg/mod.py"
+        assert 1 in by_line  # module docstring
+        assert line_of(repo, relpath, "# missing fn") in by_line
+        assert line_of(repo, relpath, "# missing class") in by_line
+        assert line_of(repo, relpath, "# missing method") in by_line
+        assert len(by_line) == 4
+
+    def test_unenforced_tree_is_ignored(self, tmp_path):
+        repo = make_repo(
+            tmp_path, {"src/elsewhere/mod.py": "def naked():\n    pass\n"}
+        )
+        report = run_analysis(repo, [DocstringRule(enforced=("src/pkg",))])
+        assert report.ok
+
+
+class TestFrameworkMechanics:
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        repo = make_repo(tmp_path, {"src/broken.py": "def broken(:\n"})
+        report = run_analysis(repo, [])
+        [finding] = findings_for(report, "syntax")
+        assert finding.path == "src/broken.py"
+
+    def test_unknown_rule_id_raises(self, tmp_path):
+        repo = make_repo(tmp_path, {"src/ok.py": "X = 1\n"})
+        with pytest.raises(ValueError, match="unknown rule ids"):
+            run_analysis(repo, default_rules(), rule_ids=["nonesuch"])
+
+    def test_rule_filter_still_runs_meta_rules(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/fake.py": (
+                    "import os\n"
+                    "# repro: allow[unused-import]\n"
+                    "PATH = os.sep\n"
+                ),
+            },
+        )
+        report = run_analysis(
+            repo, default_rules(), rule_ids=["determinism"]
+        )
+        # The empty-reason suppression gates even though unused-import
+        # itself was filtered out of this run.
+        assert [f.rule for f in report.findings] == ["suppression"]
+
+    def test_rule_ids_are_unique_and_described(self):
+        rules = builtin_rules() + default_rules()
+        ids = [rule.id for rule in rules]
+        assert len(ids) == len(set(ids))
+        for rule in rules:
+            assert rule.id and rule.description
+            assert isinstance(rule, Rule)
+
+
+class TestLiveRepoClosure:
+    def test_full_suite_is_clean_on_this_repo(self):
+        """Acceptance: zero unsuppressed findings on the live tree."""
+        report = run_analysis(REPO, default_rules())
+        assert report.ok, "\n" + "\n".join(
+            f.format() for f in report.findings
+        )
+        # Every suppression in the tree carries a reason (the
+        # suppression meta-rule gates), and the baseline is not being
+        # used to hide anything new.
+        assert not [f for f in report.findings if f.rule == "suppression"]
+
+    def test_lint_cli_json_contract(self):
+        """scripts/lint.py --json emits the machine-readable report."""
+        result = subprocess.run(
+            [sys.executable, "scripts/lint.py", "--skip-ruff", "--json"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        rule_ids = {rule["id"] for rule in payload["rules"]}
+        assert {
+            "syntax",
+            "suppression",
+            "determinism",
+            "contract-closure",
+            "lock-discipline",
+            "resource-safety",
+            "unused-import",
+            "docstring",
+        } <= rule_ids

@@ -150,6 +150,26 @@ class TestTelemetryContract:
         families = {key.split("/", 1)[0] for key in HISTOGRAM_CONTRACT}
         assert families == {"stream", "worker", "offline", "serving"}
 
+    def test_documented_registry_counter_keys_match_contract(self):
+        """The registry counter/gauge table equals the telemetry
+        counter + gauge contract tuples."""
+        from repro.obs import (
+            TELEMETRY_COUNTER_CONTRACT,
+            TELEMETRY_GAUGE_CONTRACT,
+        )
+
+        documented = set(
+            COUNTER_KEY_RE.findall(marker_block("telemetry-counters"))
+        )
+        contract = set(TELEMETRY_COUNTER_CONTRACT) | set(
+            TELEMETRY_GAUGE_CONTRACT
+        )
+        assert documented == contract, (
+            f"docs/OPERATIONS.md registry counter contract out of sync: "
+            f"undocumented={sorted(contract - documented)}, "
+            f"stale={sorted(documented - contract)}"
+        )
+
     def test_trace_knobs_are_documented(self):
         """REPRO_TRACE* knobs appear in the env-knobs block and match
         the code's knob names."""
@@ -176,6 +196,31 @@ class TestBenchArtifacts:
             f"docs/OPERATIONS.md bench sections out of sync: "
             f"undocumented={sorted(written - documented)}, "
             f"stale={sorted(documented - written)}"
+        )
+
+
+class TestAnalysisRules:
+    #: One table row: | `rule-id` | description |
+    RULE_ROW_RE = re.compile(r"^\| `([a-z-]+)` \| (.+?) \|$", re.MULTILINE)
+
+    def test_documented_rules_match_registry(self):
+        """The analysis rule table equals the live rule registry —
+        ids AND descriptions, so neither can drift silently."""
+        from repro.analysis import default_rules
+        from repro.analysis.framework import builtin_rules
+
+        registry = {
+            rule.id: rule.description
+            for rule in builtin_rules() + default_rules()
+        }
+        documented = dict(
+            self.RULE_ROW_RE.findall(marker_block("analysis-rules"))
+        )
+        assert documented == registry, (
+            f"docs/OPERATIONS.md analysis rule table out of sync: "
+            f"undocumented={sorted(set(registry) - set(documented))}, "
+            f"stale={sorted(set(documented) - set(registry))}, "
+            f"drifted={sorted(k for k in registry if k in documented and registry[k] != documented[k])}"
         )
 
 
