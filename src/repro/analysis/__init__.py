@@ -16,6 +16,11 @@ invisible to example-based tests:
 ``lock-discipline``
     In thread-starting classes, attributes mutated from both the thread
     target and public methods are only touched under ``self._lock``.
+``lock-order`` / ``blocking-under-lock``
+    The static half of the concurrency sanitizer: the per-class/module
+    acquires-while-holding graph is cycle-free, and nothing blocking
+    (joins, foreign waits, ``time.sleep``, DFS writes) runs under a
+    held lock. The runtime half lives in :mod:`repro.sanitizer`.
 ``resource-safety``
     Record writers, DFS read handles, pools, and threads are released
     on all paths or explicitly change owners.
@@ -48,12 +53,14 @@ from repro.analysis.framework import (
     run_analysis,
 )
 from repro.analysis.imports import UnusedImportRule
+from repro.analysis.lockorder import BlockingUnderLockRule, LockOrderRule
 from repro.analysis.locks import LockDisciplineRule
 from repro.analysis.resources import ResourceSafetyRule
 
 __all__ = [
     "AnalysisReport",
     "BASELINE_PATH",
+    "BlockingUnderLockRule",
     "ContractClosureRule",
     "DEFAULT_TARGETS",
     "DOCSTRING_ENFORCED",
@@ -61,6 +68,7 @@ __all__ = [
     "DocstringRule",
     "Finding",
     "LockDisciplineRule",
+    "LockOrderRule",
     "ParsedModule",
     "ResourceSafetyRule",
     "Rule",
@@ -78,10 +86,12 @@ __all__ = [
 def default_rules() -> list[Rule]:
     """The full checker suite in rule-id order, freshly instantiated."""
     rules = [
+        BlockingUnderLockRule(),
         ContractClosureRule(),
         DeterminismRule(),
         DocstringRule(),
         LockDisciplineRule(),
+        LockOrderRule(),
         ResourceSafetyRule(),
         UnusedImportRule(),
     ]

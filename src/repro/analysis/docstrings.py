@@ -35,6 +35,7 @@ DOCSTRING_ENFORCED = (
     "src/repro/serving",
     "src/repro/obs",
     "src/repro/analysis",
+    "src/repro/sanitizer",
     "src/repro/core/online_label_model.py",
     "src/repro/core/drift.py",
 )

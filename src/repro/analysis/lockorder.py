@@ -1,0 +1,628 @@
+"""Static lock-order and blocking-under-lock checkers.
+
+The runtime sanitizer (``repro.sanitizer``) observes the lock orders a
+particular test run happens to exercise; the two rules here prove the
+same properties lexically, over every path in the source:
+
+``lock-order``
+    Builds an "acquires B while holding A" graph per *lock scope* — a
+    class (locks are ``self.X`` attributes) or a module (locks are
+    module-level names) — from ``with`` nesting, bare ``.acquire()``
+    calls, and the self-call graph (a method called under a lock
+    contributes every lock it transitively acquires). Any cycle in the
+    graph means two threads can take the same locks in opposite orders
+    and deadlock; the finding lists every edge of the cycle with its
+    acquisition site.
+``blocking-under-lock``
+    Flags calls that can block indefinitely (or do I/O) while a lock is
+    lexically held: ``join``/``acquire``/``wait`` on foreign objects,
+    ``time.sleep``, and DFS writes (``write_records``, ``write_file``,
+    ``finalize_as``). Waiting on the lock you hold is the Condition
+    idiom and is exempt, as is a non-blocking ``acquire(blocking=
+    False)``; a held lock turns every other blocking call into a
+    latency cliff for all contending threads — and a deadlock when the
+    thing waited on needs that lock to make progress.
+
+Both analyses are lexical: the held set is the stack of enclosing
+``with`` guards, nested ``def``/``lambda`` bodies run with an *empty*
+held set (they usually execute later, on another thread), and thread
+target closures are promoted to scope members exactly the way
+``locks.py`` promotes them. Intentional exceptions carry
+``# repro: allow[lock-order]`` / ``# repro: allow[blocking-under-lock]``
+suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.astutil import dotted_name, import_aliases, resolve_call
+from repro.analysis.framework import Finding, ParsedModule, Rule
+
+__all__ = ["BlockingUnderLockRule", "LockOrderRule"]
+
+#: Constructors whose instances act as ``with``-able guards for the
+#: purposes of the acquisition-order graph.
+GUARD_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Attribute calls that block the calling thread until another thread
+#: acts (thread join, lock/semaphore acquire, condition/event wait).
+BLOCKING_ATTRS = frozenset({"acquire", "join", "wait"})
+
+#: DFS write entry points: durable I/O that should never sit under a
+#: lock shared with a latency-sensitive path.
+DFS_WRITE_CALLS = frozenset({"write_records", "write_file", "finalize_as"})
+
+
+@dataclass
+class _Event:
+    """One lock acquisition event inside a function body."""
+
+    lock: str
+    line: int
+    held: tuple[str, ...]
+
+
+@dataclass
+class _CallSite:
+    """One intra-scope call (``self.m()`` / local ``f()``) with context."""
+
+    callee: str
+    line: int
+    held: tuple[str, ...]
+
+
+@dataclass
+class _Blocking:
+    """One potentially blocking call made while locks were held."""
+
+    line: int
+    what: str
+    held: tuple[str, ...]
+
+
+@dataclass
+class _FnFacts:
+    """Everything the scope-level analyses need from one function."""
+
+    name: str
+    events: list[_Event] = field(default_factory=list)
+    calls: list[_CallSite] = field(default_factory=list)
+    blocking: list[_Blocking] = field(default_factory=list)
+    thread_targets: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Scope:
+    """One lock namespace: a class (``self.X``) or the module itself."""
+
+    label: str
+    functions: dict[str, list[ast.stmt]]
+    guards: set[str]
+    is_class: bool
+
+
+def _guard_ctor_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """The guard constructor a value expression calls, if any."""
+    if not isinstance(node, ast.Call):
+        return None
+    qualified = resolve_call(node, aliases)
+    if qualified is None:
+        return None
+    ctor = qualified.rsplit(".", 1)[-1]
+    return ctor if ctor in GUARD_CONSTRUCTORS else None
+
+
+def _class_guards(cls: ast.ClassDef, aliases: dict[str, str]) -> set[str]:
+    """``self.X`` attributes assigned a guard constructor in any method."""
+    guards: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if _guard_ctor_name(node.value, aliases) is None:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                guards.add(target.attr)
+    return guards
+
+
+def _module_guards(tree: ast.Module, aliases: dict[str, str]) -> set[str]:
+    """Module-level names assigned a guard constructor."""
+    guards: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if _guard_ctor_name(node.value, aliases) is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                guards.add(target.id)
+    return guards
+
+
+def _build_scopes(module: ParsedModule) -> list[_Scope]:
+    """The lock scopes of one module: ``<module>`` plus every class."""
+    tree = module.tree
+    assert tree is not None
+    aliases = import_aliases(tree)
+    scopes = [
+        _Scope(
+            label="<module>",
+            functions={
+                node.name: list(node.body)
+                for node in tree.body
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            },
+            guards=_module_guards(tree, aliases),
+            is_class=False,
+        )
+    ]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            scopes.append(
+                _Scope(
+                    label=node.name,
+                    functions={
+                        item.name: list(item.body)
+                        for item in node.body
+                        if isinstance(
+                            item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        )
+                    },
+                    guards=_class_guards(node, aliases),
+                    is_class=True,
+                )
+            )
+    return scopes
+
+
+class _HeldScanner(ast.NodeVisitor):
+    """Walk one function body tracking the lexical held-guard stack.
+
+    Collects acquisition events (``with`` guards and bare ``.acquire()``
+    calls), intra-scope calls, blocking calls made under a lock, and
+    ``Thread(target=...)`` closure names (for the same pseudo-method
+    promotion ``locks.py`` performs). Nested function and lambda bodies
+    are scanned with an *empty* held stack: they typically execute
+    later, on a different thread, so the enclosing guards say nothing
+    about the locks held when they run.
+    """
+
+    def __init__(
+        self,
+        scope: _Scope,
+        aliases: dict[str, str],
+        skip_functions: set[str],
+    ) -> None:
+        self.scope = scope
+        self.aliases = aliases
+        self.skip_functions = skip_functions
+        self.facts = _FnFacts(name="")
+        self._stack: list[str] = []
+
+    # -- guard resolution ----------------------------------------------
+    def _guard_id(self, expr: ast.expr) -> str | None:
+        """The scope-local guard id an expression names, if any."""
+        if self.scope.is_class:
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                attr = expr.attr
+                if attr in self.scope.guards or "lock" in attr:
+                    return attr
+            return None
+        if isinstance(expr, ast.Name) and expr.id in self.scope.guards:
+            return expr.id
+        return None
+
+    def _held_for_blocking(self, expr: ast.expr) -> bool:
+        """Looser guard test for the blocking rule's held check only."""
+        if self._guard_id(expr) is not None:
+            return True
+        name = dotted_name(expr)
+        return name is not None and "lock" in name.rsplit(".", 1)[-1]
+
+    # -- with nesting ---------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        """Push each guard item for the duration of the block body."""
+        pushed = 0
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            guard = self._guard_id(item.context_expr)
+            if guard is None and self._held_for_blocking(item.context_expr):
+                guard = self._blocking_only_id(item.context_expr)
+            if guard is not None:
+                self.facts.events.append(
+                    _Event(guard, node.lineno, tuple(self._stack))
+                )
+                self._stack.append(guard)
+                pushed += 1
+        for statement in node.body:
+            self.visit(statement)
+        for _ in range(pushed):
+            self._stack.pop()
+
+    visit_AsyncWith = visit_With
+
+    def _blocking_only_id(self, expr: ast.expr) -> str | None:
+        """A stack id for lock-named guards outside the scope namespace.
+
+        ``with issued_lock:`` on a function-local lock still means code
+        below runs under *a* lock; prefix the id so it can never alias
+        a scope guard in the order graph (events on these ids are
+        dropped from the graph — identity across functions is unknown).
+        """
+        name = dotted_name(expr)
+        if name is None:
+            return None
+        return f"?{name}"
+
+    # -- calls ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        """Record acquire events, scope calls, and blocking calls."""
+        func = node.func
+        held = tuple(self._stack)
+        dfs_attr_call = (
+            isinstance(func, ast.Attribute) and func.attr in DFS_WRITE_CALLS
+        )
+        if isinstance(func, ast.Attribute):
+            receiver_guard = self._guard_id(func.value)
+            if func.attr == "acquire" and receiver_guard is not None:
+                if (
+                    receiver_guard not in self._stack
+                    and not _nonblocking_acquire(node)
+                ):
+                    self.facts.events.append(
+                        _Event(receiver_guard, node.lineno, held)
+                    )
+            if held and func.attr in BLOCKING_ATTRS:
+                self._check_blocking_attr(node, func, held)
+            if held and func.attr in DFS_WRITE_CALLS:
+                self.facts.blocking.append(
+                    _Blocking(node.lineno, f"DFS {func.attr}()", held)
+                )
+            if self.scope.is_class:
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                ):
+                    self.facts.calls.append(
+                        _CallSite(func.attr, node.lineno, held)
+                    )
+        elif isinstance(func, ast.Name):
+            if not self.scope.is_class and func.id in self.scope.functions:
+                self.facts.calls.append(_CallSite(func.id, node.lineno, held))
+        if held:
+            qualified = resolve_call(node, self.aliases)
+            if qualified == "time.sleep":
+                self.facts.blocking.append(
+                    _Blocking(node.lineno, "time.sleep()", held)
+                )
+            elif (
+                not dfs_attr_call
+                and qualified is not None
+                and qualified.rsplit(".", 1)[-1] in DFS_WRITE_CALLS
+            ):
+                self.facts.blocking.append(
+                    _Blocking(
+                        node.lineno,
+                        f"DFS {qualified.rsplit('.', 1)[-1]}()",
+                        held,
+                    )
+                )
+        if resolve_call(node, self.aliases) == "threading.Thread":
+            for keyword in node.keywords:
+                if keyword.arg == "target" and isinstance(
+                    keyword.value, ast.Name
+                ):
+                    self.facts.thread_targets.add(keyword.value.id)
+        self.generic_visit(node)
+
+    def _check_blocking_attr(
+        self, node: ast.Call, func: ast.Attribute, held: tuple[str, ...]
+    ) -> None:
+        """Flag join/acquire/wait under a lock, minus the safe idioms."""
+        receiver = dotted_name(func.value)
+        receiver_guard = self._guard_id(func.value)
+        if func.attr in {"wait", "acquire"}:
+            # Waiting on (or re-entering) the lock you hold is the
+            # Condition idiom, not a hazard.
+            if receiver_guard is not None and receiver_guard in held:
+                return
+            if func.attr == "acquire" and _nonblocking_acquire(node):
+                return
+            what = f"{receiver or '<expr>'}.{func.attr}()"
+            self.facts.blocking.append(_Blocking(node.lineno, what, held))
+        elif func.attr == "join" and _is_thread_join(node):
+            what = f"{receiver or '<expr>'}.join()"
+            self.facts.blocking.append(_Blocking(node.lineno, what, held))
+
+    # -- nested scopes --------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Scan nested bodies with an empty held stack (deferred code)."""
+        if node.name in self.skip_functions:
+            return
+        saved, self._stack = self._stack, []
+        for statement in node.body:
+            self.visit(statement)
+        self._stack = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        """Lambdas are deferred code too: empty held stack."""
+        saved, self._stack = self._stack, []
+        self.visit(node.body)
+        self._stack = saved
+
+
+def _nonblocking_acquire(node: ast.Call) -> bool:
+    """Whether an ``.acquire(...)`` call cannot block (blocking=False)."""
+    if node.args:
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and first.value is False:
+            return True
+    for keyword in node.keywords:
+        if keyword.arg == "blocking" and (
+            isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is False
+        ):
+            return True
+    return False
+
+
+def _is_thread_join(node: ast.Call) -> bool:
+    """Whether a ``.join(...)`` call looks like a thread join.
+
+    ``thread.join()`` takes no argument or a numeric timeout;
+    ``", ".join(parts)`` takes exactly one iterable. Anything with a
+    single non-numeric positional argument is the string method.
+    """
+    if any(keyword.arg == "timeout" for keyword in node.keywords):
+        return True
+    if not node.args:
+        return True
+    if len(node.args) == 1:
+        arg = node.args[0]
+        return isinstance(arg, ast.Constant) and isinstance(
+            arg.value, (int, float)
+        )
+    return False
+
+
+def _scan_scope(
+    scope: _Scope, aliases: dict[str, str]
+) -> dict[str, _FnFacts]:
+    """Scan every function of a scope, promoting thread-target closures.
+
+    Mirrors ``locks.py``: pass 1 finds ``Thread(target=closure)`` names,
+    pass 2 carves those closure bodies out of their enclosing functions
+    and scans them as first-class scope members (they run on their own
+    thread, so their acquisition events stand alone).
+    """
+    closure_targets: set[str] = set()
+    for name, body in scope.functions.items():
+        scan = _HeldScanner(scope, aliases, set())
+        scan.facts = _FnFacts(name=name)
+        for statement in body:
+            scan.visit(statement)
+        closure_targets |= scan.facts.thread_targets
+
+    facts: dict[str, _FnFacts] = {}
+    for name, body in scope.functions.items():
+        scan = _HeldScanner(scope, aliases, closure_targets)
+        scan.facts = _FnFacts(name=name)
+        for statement in body:
+            scan.visit(statement)
+        facts[name] = scan.facts
+        for statement in body:
+            for nested in ast.walk(statement):
+                if (
+                    isinstance(nested, ast.FunctionDef)
+                    and nested.name in closure_targets
+                    and nested.name not in facts
+                ):
+                    inner = _HeldScanner(scope, aliases, set())
+                    inner.facts = _FnFacts(name=nested.name)
+                    for inner_statement in nested.body:
+                        inner.visit(inner_statement)
+                    facts[nested.name] = inner.facts
+    return facts
+
+
+def _transitive_acquires(
+    facts: dict[str, _FnFacts],
+) -> dict[str, dict[str, int]]:
+    """Per function: every scope guard it (transitively) acquires.
+
+    Maps function name to ``{guard: representative line}`` where the
+    line is the shallowest acquisition site found — the anchor used
+    when a call edge contributes that guard to the graph.
+    """
+    acquires: dict[str, dict[str, int]] = {
+        name: {} for name in facts
+    }
+    for name, fn in facts.items():
+        for event in fn.events:
+            if event.lock.startswith("?"):
+                continue
+            acquires[name].setdefault(event.lock, event.line)
+    changed = True
+    while changed:
+        changed = False
+        for name, fn in facts.items():
+            for call in fn.calls:
+                for lock, line in acquires.get(call.callee, {}).items():
+                    if lock not in acquires[name]:
+                        acquires[name][lock] = line
+                        changed = True
+    return acquires
+
+
+def _scope_edges(
+    facts: dict[str, _FnFacts],
+) -> dict[tuple[str, str], tuple[int, str]]:
+    """The "acquires ``b`` while holding ``a``" edges of one scope.
+
+    Each edge keeps its first acquisition site: the line where ``b``
+    was taken and a short description of how (directly, or via a call
+    into a function that takes it).
+    """
+    acquires = _transitive_acquires(facts)
+    edges: dict[tuple[str, str], tuple[int, str]] = {}
+
+    def add(a: str, b: str, line: int, how: str) -> None:
+        if a == b or a.startswith("?") or b.startswith("?"):
+            return
+        key = (a, b)
+        if key not in edges or line < edges[key][0]:
+            edges[key] = (line, how)
+
+    for fn in facts.values():
+        for event in fn.events:
+            for held in event.held:
+                add(held, event.lock, event.line, f"in {fn.name}")
+        for call in fn.calls:
+            if not call.held:
+                continue
+            for lock in acquires.get(call.callee, {}):
+                for held in call.held:
+                    add(
+                        held,
+                        lock,
+                        call.line,
+                        f"in {fn.name} via {call.callee}()",
+                    )
+    return edges
+
+
+def _strongly_connected(
+    nodes: set[str], edges: dict[tuple[str, str], tuple[int, str]]
+) -> list[list[str]]:
+    """Tarjan SCCs of the acquisition graph (deterministic order)."""
+    adjacency: dict[str, list[str]] = {node: [] for node in nodes}
+    for a, b in sorted(edges):
+        adjacency[a].append(b)
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(node: str) -> None:
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for neighbor in adjacency[node]:
+            if neighbor not in index:
+                strongconnect(neighbor)
+                low[node] = min(low[node], low[neighbor])
+            elif neighbor in on_stack:
+                low[node] = min(low[node], index[neighbor])
+        if low[node] == index[node]:
+            component: list[str] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            sccs.append(sorted(component))
+
+    for node in sorted(nodes):
+        if node not in index:
+            strongconnect(node)
+    return [scc for scc in sccs if len(scc) > 1]
+
+
+class LockOrderRule(Rule):
+    """The per-scope lock acquisition graph must be cycle-free."""
+
+    id = "lock-order"
+    description = (
+        "the acquires-while-holding graph of every class/module must be "
+        "acyclic, or two threads can deadlock"
+    )
+    targets = ("src",)
+
+    def check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        """Report every acquisition-order cycle in one module."""
+        if module.tree is None:
+            return
+        aliases = import_aliases(module.tree)
+        for scope in _build_scopes(module):
+            facts = _scan_scope(scope, aliases)
+            edges = _scope_edges(facts)
+            if not edges:
+                continue
+            nodes = {a for a, _ in edges} | {b for _, b in edges}
+            for component in _strongly_connected(nodes, edges):
+                members = set(component)
+                cycle_edges = sorted(
+                    (line, a, b, how)
+                    for (a, b), (line, how) in edges.items()
+                    if a in members and b in members
+                )
+                sites = ", ".join(
+                    f"{b} while holding {a} (line {line}, {how})"
+                    for line, a, b, how in cycle_edges
+                )
+                yield module.finding(
+                    self.id,
+                    cycle_edges[0][0],
+                    f"lock-order cycle in {scope.label} over "
+                    f"{{{', '.join(component)}}}: acquires {sites}; "
+                    "threads taking these locks in different orders can "
+                    "deadlock",
+                )
+
+
+class BlockingUnderLockRule(Rule):
+    """No call that can block indefinitely while a lock is held."""
+
+    id = "blocking-under-lock"
+    description = (
+        "no blocking call (join/acquire/wait on another object, "
+        "time.sleep, DFS writes) while holding a lock"
+    )
+    targets = ("src",)
+
+    def check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        """Report every blocking-under-lock site in one module."""
+        if module.tree is None:
+            return
+        aliases = import_aliases(module.tree)
+        for scope in _build_scopes(module):
+            facts = _scan_scope(scope, aliases)
+            for name in sorted(facts):
+                for blocked in facts[name].blocking:
+                    held = ", ".join(
+                        guard.lstrip("?") for guard in blocked.held
+                    )
+                    where = (
+                        f"{scope.label}.{name}"
+                        if scope.is_class
+                        else name
+                    )
+                    yield module.finding(
+                        self.id,
+                        blocked.line,
+                        f"{where} calls {blocked.what} while holding "
+                        f"{{{held}}}; blocking under a lock stalls every "
+                        "contending thread",
+                    )

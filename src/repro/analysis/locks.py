@@ -7,10 +7,15 @@ an instance attribute that is **mutated both from thread-side code and
 from public-side code** is a shared variable, and every access to it
 must sit inside a ``with self.<lock>`` block.
 
-How the rule reasons, per class that constructs ``threading.Thread``:
+How the rule reasons, per class that constructs ``threading.Thread``
+(or ``threading.Timer`` — a Timer is a thread with a delay):
 
-* *thread entries* are ``Thread(target=self.method)`` targets and
-  ``Thread(target=local_function)`` closures defined in a method;
+* *thread entries* are ``Thread(target=self.method)`` /
+  ``Timer(delay, self.method)`` targets, ``Thread(target=closure)``
+  closures defined in a method, and module-level functions — in this
+  module or any other — passed as the target with the instance bound
+  through ``args=(self, ...)`` (the function's matching parameter is
+  analyzed as if it were ``self``);
 * the self-method call graph is chased from the entries (thread side)
   and from every public method (public side) — a private helper called
   from ``predict()`` is public-side code;
@@ -37,9 +42,9 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
-from repro.analysis.astutil import import_aliases, resolve_call
+from repro.analysis.astutil import dotted_name, import_aliases, resolve_call
 from repro.analysis.framework import Finding, ParsedModule, Rule
 
 __all__ = ["LockDisciplineRule"]
@@ -97,6 +102,23 @@ THREAD_SAFE_CONSTRUCTORS = frozenset(
 LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock", "Condition"})
 
 
+def _module_qualname(relpath: str) -> str:
+    """Import-style module name for a repo-relative source path.
+
+    ``src/repro/obs/exporter.py`` maps to ``repro.obs.exporter`` and a
+    package ``__init__.py`` to the package itself — the names the
+    import-alias map produces, so spawn targets resolve across modules.
+    """
+    path = relpath
+    if path.startswith("src/"):
+        path = path[len("src/") :]
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    if path.endswith("/__init__"):
+        path = path[: -len("/__init__")]
+    return path.replace("/", ".")
+
+
 @dataclass
 class _Access:
     """One appearance of ``self.attr`` inside a method body."""
@@ -115,6 +137,10 @@ class _Method:
     accesses: list[_Access] = field(default_factory=list)
     calls: set[str] = field(default_factory=set)
     thread_targets: set[str] = field(default_factory=set)
+    external_targets: list[tuple[str, int]] = field(default_factory=list)
+    """Dotted spawn targets that are not methods or local closures,
+    with the position of ``self`` in the spawn's ``args=`` tuple
+    (``-1`` when the instance is not passed along)."""
 
 
 class _MethodScanner(ast.NodeVisitor):
@@ -130,10 +156,12 @@ class _MethodScanner(ast.NodeVisitor):
         lock_attrs: set[str],
         aliases: dict[str, str],
         skip_functions: set[str],
+        self_name: str = "self",
     ) -> None:
         self.lock_attrs = lock_attrs
         self.aliases = aliases
         self.skip_functions = skip_functions
+        self.self_name = self_name
         self.method = _Method(name="")
         self._lock_depth = 0
 
@@ -157,7 +185,7 @@ class _MethodScanner(ast.NodeVisitor):
         if (
             isinstance(expr, ast.Attribute)
             and isinstance(expr.value, ast.Name)
-            and expr.value.id == "self"
+            and expr.value.id == self.self_name
         ):
             return expr.attr in self.lock_attrs or "lock" in expr.attr
         return False
@@ -167,7 +195,7 @@ class _MethodScanner(ast.NodeVisitor):
         if (
             isinstance(expr, ast.Attribute)
             and isinstance(expr.value, ast.Name)
-            and expr.value.id == "self"
+            and expr.value.id == self.self_name
         ):
             return expr.attr
         return None
@@ -208,19 +236,66 @@ class _MethodScanner(ast.NodeVisitor):
                 self._record(owner, node.lineno, True)
             if (
                 isinstance(func.value, ast.Name)
-                and func.value.id == "self"
+                and func.value.id == self.self_name
             ):
                 self.method.calls.add(func.attr)
-        if resolve_call(node, self.aliases) == "threading.Thread":
-            for keyword in node.keywords:
-                if keyword.arg != "target":
-                    continue
-                target_attr = self._self_attr(keyword.value)
-                if target_attr is not None:
-                    self.method.thread_targets.add(target_attr)
-                elif isinstance(keyword.value, ast.Name):
-                    self.method.thread_targets.add(keyword.value.id)
+        qualified = resolve_call(node, self.aliases)
+        if qualified in ("threading.Thread", "threading.Timer"):
+            target = self._spawn_target(node, qualified)
+            if target is not None:
+                self._record_spawn_target(node, target)
         self.generic_visit(node)
+
+    @staticmethod
+    def _spawn_target(node: ast.Call, qualified: str) -> ast.expr | None:
+        """The callable a Thread/Timer construction will run."""
+        if qualified == "threading.Thread":
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    return keyword.value
+            return None
+        # Timer(interval, function, args=..., kwargs=...): the callable
+        # is the second positional argument or the function= keyword.
+        for keyword in node.keywords:
+            if keyword.arg == "function":
+                return keyword.value
+        if len(node.args) >= 2:
+            return node.args[1]
+        return None
+
+    def _record_spawn_target(
+        self, node: ast.Call, target: ast.expr
+    ) -> None:
+        """File a spawn target as method, closure, or external function."""
+        target_attr = self._self_attr(target)
+        if target_attr is not None:
+            self.method.thread_targets.add(target_attr)
+            return
+        name = dotted_name(target)
+        if name is None:
+            return
+        if isinstance(target, ast.Name):
+            # Could be a closure of the enclosing method (promoted by
+            # the class pass) or a module-level function; record both
+            # interpretations and let the class pass disambiguate.
+            self.method.thread_targets.add(target.id)
+        self.method.external_targets.append(
+            (name, self._self_arg_position(node))
+        )
+
+    def _self_arg_position(self, node: ast.Call) -> int:
+        """Index of ``self`` in the spawn's ``args=`` tuple, or ``-1``."""
+        for keyword in node.keywords:
+            if keyword.arg != "args":
+                continue
+            if isinstance(keyword.value, (ast.Tuple, ast.List)):
+                for index, element in enumerate(keyword.value.elts):
+                    if (
+                        isinstance(element, ast.Name)
+                        and element.id == self.self_name
+                    ):
+                        return index
+        return -1
 
     # -- nested scopes --------------------------------------------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -244,14 +319,51 @@ class LockDisciplineRule(Rule):
     )
     targets = ("src",)
 
+    def check_repo(
+        self, modules: Sequence[ParsedModule]
+    ) -> Iterator[Finding]:
+        """Analyze every module, resolving cross-module thread targets.
+
+        A first pass maps every module-level function by its qualified
+        name, so ``Thread(target=helpers.worker, args=(self,))`` can be
+        chased into ``helpers.py`` and the worker's parameter analyzed
+        as the spawning instance.
+        """
+        function_map: dict[str, tuple] = {}
+        for module in modules:
+            if module.tree is None:
+                continue
+            qualname = _module_qualname(module.relpath)
+            module_aliases = import_aliases(module.tree)
+            for node in module.tree.body:
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    function_map[f"{qualname}.{node.name}"] = (
+                        node,
+                        module,
+                        module_aliases,
+                    )
+        for module in modules:
+            if module.tree is not None:
+                yield from self._check_one(module, function_map)
+
     def check_module(self, module: ParsedModule) -> Iterator[Finding]:
-        """Analyze every thread-spawning class in one module."""
+        """Analyze one module standalone (no cross-module resolution)."""
+        yield from self._check_one(module, {})
+
+    def _check_one(
+        self, module: ParsedModule, function_map: dict[str, tuple]
+    ) -> Iterator[Finding]:
         if module.tree is None:
             return
         aliases = import_aliases(module.tree)
+        qualname = _module_qualname(module.relpath)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ClassDef):
-                yield from self._check_class(module, node, aliases)
+                yield from self._check_class(
+                    module, node, aliases, qualname, function_map
+                )
 
     # ------------------------------------------------------------------
     # per-class analysis
@@ -261,6 +373,8 @@ class LockDisciplineRule(Rule):
         module: ParsedModule,
         cls: ast.ClassDef,
         aliases: dict[str, str],
+        qualname: str,
+        function_map: dict[str, tuple],
     ) -> Iterator[Finding]:
         methods = [
             item
@@ -301,6 +415,39 @@ class LockDisciplineRule(Rule):
                         inner.visit(statement)
                     scanned[nested.name] = inner.method
 
+        # Module-level spawn targets (this module or another) become
+        # pseudo-methods too: the parameter that binds ``self`` via the
+        # spawn's ``args=`` tuple is analyzed as the instance.
+        method_module: dict[str, ParsedModule] = {}
+        for method in list(scanned.values()):
+            for name, self_pos in method.external_targets:
+                if name in scanned or self_pos < 0:
+                    continue
+                resolved = self._resolve_external(
+                    name, aliases, qualname, function_map
+                )
+                if resolved is None:
+                    continue
+                fn_node, def_module, def_aliases = resolved
+                params = [arg.arg for arg in fn_node.args.args]
+                if self_pos >= len(params):
+                    continue
+                pseudo = f"<{name}>"
+                if pseudo in scanned:
+                    continue
+                external = _MethodScanner(
+                    lock_attrs,
+                    def_aliases,
+                    set(),
+                    self_name=params[self_pos],
+                )
+                external.method = _Method(name=pseudo)
+                for statement in fn_node.body:
+                    external.visit(statement)
+                scanned[pseudo] = external.method
+                method_module[pseudo] = def_module
+                thread_entries.add(pseudo)
+
         if not thread_entries:
             return
 
@@ -315,25 +462,49 @@ class LockDisciplineRule(Rule):
         shared = self._shared_attrs(
             scanned, thread_side, public_side, exempt_attrs
         )
-        seen: set[tuple[str, int]] = set()
+        seen: set[tuple[str, str, int]] = set()
         for name in sorted(thread_side | public_side):
             method = scanned.get(name)
             if method is None or name == "__init__":
                 continue
+            owner = method_module.get(name, module)
             for access in method.accesses:
                 if access.attr not in shared or access.locked:
                     continue
-                if (access.attr, access.line) in seen:
+                key = (owner.relpath, access.attr, access.line)
+                if key in seen:
                     continue
-                seen.add((access.attr, access.line))
+                seen.add(key)
                 side = "thread" if name in thread_side else "public"
-                yield module.finding(
+                yield owner.finding(
                     self.id,
                     access.line,
                     f"{cls.name}.{name} accesses self.{access.attr} "
                     f"outside the lock ({side}-side code; the attribute "
                     "is mutated from both thread and public methods)",
                 )
+
+    @staticmethod
+    def _resolve_external(
+        name: str,
+        aliases: dict[str, str],
+        qualname: str,
+        function_map: dict[str, tuple],
+    ) -> tuple | None:
+        """Map a spawn-target dotted name to a known module function.
+
+        ``helpers.worker`` resolves through the import alias map
+        (cross-module); a bare name falls back to the spawning module's
+        own top-level functions.
+        """
+        root, _, rest = name.partition(".")
+        origin = aliases.get(root, root)
+        qualified = f"{origin}.{rest}" if rest else origin
+        if qualified in function_map:
+            return function_map[qualified]
+        if "." not in name:
+            return function_map.get(f"{qualname}.{name}")
+        return None
 
     @staticmethod
     def _classify_attrs(

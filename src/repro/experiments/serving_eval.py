@@ -255,7 +255,14 @@ def run_serving_eval(
         for thread in threads:
             thread.start()
         for thread in threads:
-            thread.join()
+            # Bounded join: clients exit once their request share is
+            # answered or times out, so the server-side deadline bounds
+            # how long this can legitimately take.
+            thread.join(timeout=120.0)
+            if thread.is_alive():
+                raise RuntimeError(
+                    f"load-generator {thread.name} failed to finish"
+                )
         load_wall = time.perf_counter() - load_start
         report = server.report()
     tracer.close()

@@ -28,6 +28,10 @@ from repro.obs.registry import MetricsRegistry
 
 __all__ = ["TelemetryExporter"]
 
+#: Bound on the shutdown join; the export loop wakes at least every
+#: ``interval_s``, so a thread alive past this is wedged.
+_JOIN_TIMEOUT_S = 5.0
+
 
 class TelemetryExporter:
     """Background thread publishing registry snapshots durably."""
@@ -99,7 +103,16 @@ class TelemetryExporter:
         """
         if self._thread is not None:
             self._stop.set()
-            self._thread.join()
+            # Bounded join: the export loop re-checks the stop event at
+            # least every interval_s, so exceeding the bound means the
+            # thread is wedged (e.g. inside a stuck DFS write) and the
+            # caller must hear about it rather than hang.
+            self._thread.join(timeout=_JOIN_TIMEOUT_S)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    "telemetry-exporter thread failed to stop within "
+                    f"{_JOIN_TIMEOUT_S:.0f}s"
+                )
             self._thread = None
         return self.export_now()
 
@@ -132,6 +145,7 @@ class TelemetryExporter:
                 **snapshot,
             }
             if self._dfs is not None:
+                # repro: allow[blocking-under-lock] the lock deliberately serializes the seq-ordered publish (records file per seq, JSONL appends in seq order); contenders are only the exporter thread and stop(), and the in-memory DFS write cannot block on I/O
                 write_records(
                     self._dfs, f"{self.root}/metrics-{seq:05d}.records", [entry]
                 )

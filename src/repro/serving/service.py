@@ -101,6 +101,25 @@ SERVING_CONDITIONAL_COUNTER_KEYS = (
 #: are sliced off after scoring.
 _SCORE_PAD_ROWS = 32
 
+#: Bound on every shutdown join. The batcher and watcher re-check the
+#: stop flag at least every flush/poll interval (milliseconds), so a
+#: thread that outlives this bound is wedged and must be surfaced, not
+#: waited on forever.
+_JOIN_TIMEOUT_S = 5.0
+
+
+def _join_or_raise(thread: threading.Thread, name: str) -> None:
+    """Join ``thread`` within the shutdown bound or fail loudly.
+
+    Raises:
+        RuntimeError: If the thread is still alive after the bound.
+    """
+    thread.join(timeout=_JOIN_TIMEOUT_S)
+    if thread.is_alive():
+        raise RuntimeError(
+            f"{name} thread failed to stop within {_JOIN_TIMEOUT_S:.0f}s"
+        )
+
 
 class ServeTimeout(TimeoutError):
     """A request's result did not arrive within its deadline."""
@@ -308,9 +327,9 @@ class LabelServer:
         self._stop.set()
         with self._wake:
             self._wake.notify_all()
-        self._batcher.join()
+        _join_or_raise(self._batcher, "label-serve-batcher")
         if self._watcher is not None:
-            self._watcher.join()
+            _join_or_raise(self._watcher, "label-serve-watcher")
         self._batcher = None
         self._watcher = None
         stop_lf_resources(self.lfs)

@@ -103,6 +103,26 @@ __all__ = [
 #: permit (the examples are guaranteed alive for the duration).
 BatchSink = Callable[[int, list[Example], np.ndarray], None]
 
+#: Bound on the shutdown join of the ingest thread. On every exit path
+#: the stop flag is set and a residency permit released before joining,
+#: so the producer unblocks within one queue/permit wait; exceeding
+#: this bound means it is wedged and the error must surface.
+_JOIN_TIMEOUT_S = 5.0
+
+
+def _join_producer(producer: threading.Thread) -> None:
+    """Join the ingest thread within the shutdown bound or fail loudly.
+
+    Raises:
+        RuntimeError: If the producer is still alive after the bound.
+    """
+    producer.join(timeout=_JOIN_TIMEOUT_S)
+    if producer.is_alive():
+        raise RuntimeError(
+            "microbatch-ingest thread failed to stop within "
+            f"{_JOIN_TIMEOUT_S:.0f}s"
+        )
+
 #: Counter keys every non-empty run records (see module docstring).
 COUNTER_CONTRACT = (
     "ingest/records",
@@ -617,7 +637,7 @@ class MicroBatchPipeline:
             permits.release()
             raise
         finally:
-            producer.join()
+            _join_producer(producer)
             stop_lf_resources(self.lfs)
         wall = time.perf_counter() - wall_start
         return self._build_report(
@@ -775,7 +795,7 @@ class MicroBatchPipeline:
             permits.release()
             raise
         finally:
-            producer.join()
+            _join_producer(producer)
             if owned:
                 executor.close()
             else:

@@ -3,9 +3,18 @@
 Heavy artifacts (tiny-scale datasets, label matrices) are session-scoped:
 they are deterministic given (seed, scale), so sharing them across tests
 only trades isolation we do not need for a large speedup.
+
+With ``REPRO_TSAN=1`` the whole suite runs under the runtime
+concurrency sanitizer (``repro.sanitizer``): the threading primitives
+are swapped for recording proxies at configure time, the session writes
+``sanitizer-report.json`` at teardown, and any finding — a lock-order
+cycle observed live, or a leaked repo-owned thread — fails the run.
+With the knob unset the sanitizer is never imported.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -18,6 +27,64 @@ from repro.datasets.content import (
 )
 from repro.datasets.events import generate_events_dataset
 from repro.dfs.filesystem import DistributedFileSystem
+
+
+_TSAN_INSTALLED = False
+
+
+def _tsan_requested() -> bool:
+    """The REPRO_TSAN check, inlined so the off-path imports nothing."""
+    value = os.environ.get("REPRO_TSAN", "").strip().lower()
+    return value not in {"", "0", "false", "no"}
+
+
+def pytest_configure(config):
+    """Install the concurrency sanitizer before any test module loads."""
+    global _TSAN_INSTALLED
+    if _tsan_requested():
+        from repro import sanitizer
+
+        sanitizer.install()
+        _TSAN_INSTALLED = True
+
+
+def pytest_unconfigure(config):
+    """Restore the real threading primitives at session end."""
+    global _TSAN_INSTALLED
+    if _TSAN_INSTALLED:
+        from repro import sanitizer
+
+        if sanitizer.installed():
+            sanitizer.uninstall()
+        _TSAN_INSTALLED = False
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _concurrency_sanitizer_gate():
+    """Session gate: write the sanitizer report and fail on findings.
+
+    Runs its teardown after the last test: every started component has
+    been stopped by then, so a live repo-owned thread is a genuine leak
+    and a recorded acquisition cycle a genuine deadlock hazard.
+    """
+    yield
+    if not _TSAN_INSTALLED:
+        return
+    from repro import sanitizer
+
+    graph = sanitizer.active_graph()
+    if graph is None:
+        return
+    payload = sanitizer.write_report(graph, sanitizer.report_path_from_env())
+    assert payload["ok"], (
+        "concurrency sanitizer recorded findings "
+        f"(see {sanitizer.report_path_from_env()}):\n"
+        + "\n".join(
+            f"  {row['rule']} at {row['path']}:{row['line']}: "
+            f"{row['message']}"
+            for row in payload["findings"]
+        )
+    )
 
 
 @pytest.fixture()

@@ -19,10 +19,12 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import (
+    BlockingUnderLockRule,
     ContractClosureRule,
     DeterminismRule,
     DocstringRule,
     LockDisciplineRule,
+    LockOrderRule,
     ResourceSafetyRule,
     Rule,
     UnusedImportRule,
@@ -395,6 +397,475 @@ class TestLockDisciplineRule:
         lines = {f.line for f in findings_for(report, "lock-discipline")}
         assert line_of(repo, "src/closure.py", "# closure unlocked") in lines
 
+    def test_timer_callback_counts_as_thread_side(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/beeper.py": """\
+                    import threading
+
+
+                    class Beeper:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self._count = 0
+                            self._timer = None
+
+                        def start(self):
+                            self._timer = threading.Timer(0.1, self._tick)
+                            self._timer.start()
+
+                        def _tick(self):
+                            self._count += 1  # timer-side unlocked
+
+                        def bump(self):
+                            with self._lock:
+                                self._count += 1
+                """,
+            },
+        )
+        report = run_analysis(repo, [LockDisciplineRule()])
+        lines = {f.line for f in findings_for(report, "lock-discipline")}
+        assert line_of(repo, "src/beeper.py", "# timer-side unlocked") in lines
+
+    def test_same_module_function_target_counts_as_thread_side(
+        self, tmp_path
+    ):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/pumper.py": """\
+                    import threading
+
+
+                    def pump(state):
+                        state._buf.append(1)  # module fn unlocked
+
+
+                    class Owner:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self._buf = []
+
+                        def start(self):
+                            thread = threading.Thread(
+                                target=pump, args=(self,)
+                            )
+                            thread.start()
+
+                        def push(self, item):
+                            with self._lock:
+                                self._buf.append(item)
+                """,
+            },
+        )
+        report = run_analysis(repo, [LockDisciplineRule()])
+        lines = {f.line for f in findings_for(report, "lock-discipline")}
+        assert (
+            line_of(repo, "src/pumper.py", "# module fn unlocked") in lines
+        )
+
+    def test_cross_module_function_target_flagged_in_defining_module(
+        self, tmp_path
+    ):
+        """The Thread target lives in another module; the finding is
+        anchored where the unlocked access actually is."""
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/workerlib.py": """\
+                    def pump(state):
+                        state._buf.append(1)  # external unlocked
+                """,
+                "src/owner.py": """\
+                    import threading
+
+                    from workerlib import pump
+
+
+                    class Owner:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self._buf = []
+
+                        def start(self):
+                            thread = threading.Thread(
+                                target=pump, args=(self,)
+                            )
+                            thread.start()
+
+                        def push(self, item):
+                            with self._lock:
+                                self._buf.append(item)
+                """,
+            },
+        )
+        report = run_analysis(repo, [LockDisciplineRule()])
+        hits = findings_for(report, "lock-discipline")
+        assert [(f.path, f.line) for f in hits] == [
+            (
+                "src/workerlib.py",
+                line_of(repo, "src/workerlib.py", "# external unlocked"),
+            )
+        ]
+
+
+INVERTED_PAIR = """\
+    import threading
+
+
+    class Pair:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                with self._b:  # forward inner
+                    pass
+
+        def backward(self):
+            with self._b:
+                with self._a:
+                    pass
+"""
+
+
+class TestLockOrderRule:
+    def test_inversion_detected_at_exact_site(self, tmp_path):
+        """The planted inversion: the finding anchors on the first
+        edge's acquisition site and names both locks and both sites."""
+        repo = make_repo(tmp_path, {"src/pair.py": INVERTED_PAIR})
+        report = run_analysis(repo, [LockOrderRule()])
+        hits = findings_for(report, "lock-order")
+        assert len(hits) == 1
+        assert hits[0].path == "src/pair.py"
+        assert hits[0].line == line_of(repo, "src/pair.py", "# forward inner")
+        assert "_a" in hits[0].message and "_b" in hits[0].message
+        assert "in forward" in hits[0].message
+        assert "in backward" in hits[0].message
+        assert "deadlock" in hits[0].message
+
+    def test_consistent_order_passes(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/pair.py": """\
+                    import threading
+
+
+                    class Pair:
+                        def __init__(self):
+                            self._a = threading.Lock()
+                            self._b = threading.Lock()
+
+                        def forward(self):
+                            with self._a:
+                                with self._b:
+                                    pass
+
+                        def also_forward(self):
+                            with self._a:
+                                with self._b:
+                                    pass
+                """,
+            },
+        )
+        report = run_analysis(repo, [LockOrderRule()])
+        assert report.ok
+
+    def test_interprocedural_cycle_via_self_call(self, tmp_path):
+        """A method called under a lock contributes the locks it takes."""
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/chain.py": """\
+                    import threading
+
+
+                    class Chain:
+                        def __init__(self):
+                            self._a = threading.Lock()
+                            self._b = threading.Lock()
+
+                        def flush(self):
+                            with self._b:
+                                with self._a:
+                                    pass
+
+                        def drain(self):
+                            with self._a:
+                                self.flush()  # call under a
+                """,
+            },
+        )
+        report = run_analysis(repo, [LockOrderRule()])
+        hits = findings_for(report, "lock-order")
+        assert len(hits) == 1
+        assert "via flush()" in hits[0].message
+
+    def test_bare_acquire_counts_as_acquisition(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/bare.py": """\
+                    import threading
+
+
+                    class Bare:
+                        def __init__(self):
+                            self._a = threading.Lock()
+                            self._b = threading.Lock()
+
+                        def grab(self):
+                            with self._a:
+                                self._b.acquire()
+
+                        def grab_reversed(self):
+                            with self._b:
+                                self._a.acquire()
+                """,
+            },
+        )
+        report = run_analysis(repo, [LockOrderRule()])
+        assert len(findings_for(report, "lock-order")) == 1
+
+    def test_module_level_locks_form_their_own_scope(self, tmp_path):
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/modlocks.py": """\
+                    import threading
+
+                    LOCK_A = threading.Lock()
+                    LOCK_B = threading.Lock()
+
+
+                    def forward():
+                        with LOCK_A:
+                            with LOCK_B:
+                                pass
+
+
+                    def backward():
+                        with LOCK_B:
+                            with LOCK_A:
+                                pass
+                """,
+            },
+        )
+        report = run_analysis(repo, [LockOrderRule()])
+        hits = findings_for(report, "lock-order")
+        assert len(hits) == 1
+        assert "<module>" in hits[0].message
+        assert "LOCK_A" in hits[0].message and "LOCK_B" in hits[0].message
+
+    def test_serving_admission_pattern_is_clean(self, tmp_path):
+        """Semaphore-then-condition admission (the serving tier's
+        shape) holds nothing while acquiring, so no edges form."""
+        repo = make_repo(
+            tmp_path,
+            {
+                "src/gate.py": """\
+                    import threading
+
+
+                    class Gate:
+                        def __init__(self):
+                            self._permits = threading.Semaphore(4)
+                            self._wake = threading.Condition()
+
+                        def submit(self):
+                            self._permits.acquire()
+                            with self._wake:
+                                self._wake.wait(0.05)
+                """,
+            },
+        )
+        report = run_analysis(
+            repo, [LockOrderRule(), BlockingUnderLockRule()]
+        )
+        assert report.ok
+
+    def test_suppression_silences_the_cycle(self, tmp_path):
+        source = INVERTED_PAIR.replace(
+            "# forward inner",
+            "# repro: allow[lock-order] planted for the fixture",
+        )
+        repo = make_repo(tmp_path, {"src/pair.py": source})
+        report = run_analysis(repo, [LockOrderRule()])
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["lock-order"]
+
+
+class TestBlockingUnderLockRule:
+    def _report(self, tmp_path, body: str):
+        repo = make_repo(tmp_path, {"src/holder.py": textwrap.dedent(body)})
+        return repo, run_analysis(repo, [BlockingUnderLockRule()])
+
+    def test_sleep_under_lock_flagged(self, tmp_path):
+        repo, report = self._report(
+            tmp_path,
+            """\
+            import threading
+            import time
+
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def pause(self):
+                    with self._lock:
+                        time.sleep(0.1)  # sleep under lock
+            """,
+        )
+        hits = findings_for(report, "blocking-under-lock")
+        assert [(f.line, "time.sleep()" in f.message) for f in hits] == [
+            (line_of(repo, "src/holder.py", "# sleep under lock"), True)
+        ]
+        assert "Holder.pause" in hits[0].message
+
+    def test_foreign_wait_flagged_own_wait_exempt(self, tmp_path):
+        repo, report = self._report(
+            tmp_path,
+            """\
+            import threading
+
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._wake = threading.Condition()
+                    self._done = threading.Event()
+
+                def block(self):
+                    with self._lock:
+                        self._done.wait()  # foreign wait
+
+                def idiom(self):
+                    with self._wake:
+                        self._wake.wait(0.05)
+            """,
+        )
+        hits = findings_for(report, "blocking-under-lock")
+        assert [f.line for f in hits] == [
+            line_of(repo, "src/holder.py", "# foreign wait")
+        ]
+
+    def test_thread_join_flagged_string_join_exempt(self, tmp_path):
+        repo, report = self._report(
+            tmp_path,
+            """\
+            import threading
+
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._worker = None
+
+                def stop(self):
+                    with self._lock:
+                        self._worker.join()  # thread join under lock
+
+                def render(self, parts):
+                    with self._lock:
+                        return ", ".join(parts)
+            """,
+        )
+        hits = findings_for(report, "blocking-under-lock")
+        assert [f.line for f in hits] == [
+            line_of(repo, "src/holder.py", "# thread join under lock")
+        ]
+
+    def test_dfs_write_under_lock_flagged(self, tmp_path):
+        repo, report = self._report(
+            tmp_path,
+            """\
+            import threading
+
+
+            class Holder:
+                def __init__(self, dfs):
+                    self._lock = threading.Lock()
+                    self._dfs = dfs
+
+                def publish(self, path, rows):
+                    with self._lock:
+                        self._dfs.write_records(path, rows)  # dfs write
+            """,
+        )
+        hits = findings_for(report, "blocking-under-lock")
+        assert [f.line for f in hits] == [
+            line_of(repo, "src/holder.py", "# dfs write")
+        ]
+        assert "DFS write_records()" in hits[0].message
+
+    def test_nonblocking_acquire_exempt(self, tmp_path):
+        _, report = self._report(
+            tmp_path,
+            """\
+            import threading
+
+
+            class Holder:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def try_both(self):
+                    with self._a:
+                        return self._b.acquire(blocking=False)
+            """,
+        )
+        assert report.ok
+
+    def test_deferred_closure_body_not_under_the_lock(self, tmp_path):
+        """Code inside a nested def runs later: the enclosing with
+        says nothing about the locks held when it executes."""
+        _, report = self._report(
+            tmp_path,
+            """\
+            import threading
+            import time
+
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def schedule(self):
+                    with self._lock:
+                        def later():
+                            time.sleep(0.1)
+
+                        return later
+            """,
+        )
+        assert report.ok
+
+    def test_suppression_silences_the_block(self, tmp_path):
+        _, report = self._report(
+            tmp_path,
+            """\
+            import threading
+            import time
+
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def pause(self):
+                    with self._lock:
+                        # repro: allow[blocking-under-lock] fixture plant
+                        time.sleep(0.1)
+            """,
+        )
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["blocking-under-lock"]
+
 
 class TestResourceSafetyRule:
     def test_leaked_writer_flagged_at_binding(self, tmp_path):
@@ -611,7 +1082,9 @@ class TestLiveRepoClosure:
             "suppression",
             "determinism",
             "contract-closure",
+            "blocking-under-lock",
             "lock-discipline",
+            "lock-order",
             "resource-safety",
             "unused-import",
             "docstring",
