@@ -9,7 +9,21 @@ Assertions: the sampling-free trainer exceeds 100 steps/s, and its
 example throughput beats the Gibbs sampler by at least 2x (ours is far
 larger because the Gibbs inner loop is pure Python — recorded as such
 in EXPERIMENTS.md).
+
+Also home to the ``label_model_fit`` refit-latency gate: full-batch
+fitting of a growing matrix drawn from a fixed pattern pool, full-matrix
+vs pattern-compressed. The compressed path must match posteriors to
+<= 1e-9 at every size; at benchmark scale (n >= 20,000) its per-step
+cost must also be flat in n (bounded growth across a >15x size sweep)
+and beat the full path's total wall time. Rows land in
+``BENCH_perf.json`` / ``BENCH_history.jsonl`` with the standard trend
+gate (warns by default, fails under ``REPRO_ENFORCE_TREND=1``).
+
+Environment knobs: ``REPRO_SCALE`` (dataset scale) and ``REPRO_BENCH_N``
+(largest row count in the refit-latency sweep).
 """
+
+import os
 
 import numpy as np
 
@@ -19,6 +33,37 @@ from repro.experiments import perf
 from repro.experiments.harness import get_content_experiment
 
 from benchmarks.conftest import emit
+
+#: Largest matrix in the refit-latency sweep.
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "30720"))
+
+#: Posterior agreement the compressed fit must maintain at every size.
+FIT_EQUIVALENCE_TOLERANCE = 1e-9
+
+#: Floors for the compressed path, binding at benchmark scale only
+#: (n >= 20,000): total-wall speedup over the full fit, and the maximum
+#: allowed per-step cost growth across the size sweep ("flat in n").
+FIT_SPEEDUP_FLOOR = 3.0
+FIT_STEP_GROWTH_CEILING = 3.0
+
+
+def _trend_gate(section: str, metric: str, match: dict) -> None:
+    """Warn on trend regressions; fail only when explicitly enforced.
+
+    ``match`` pins the comparison to same-configuration history rows so
+    smoke runs (small N) and full runs never share a trend line.
+    """
+    flag = perf.check_history_trend(section, metric, match=match)
+    if flag is None:
+        return
+    message = (
+        f"TREND REGRESSION: {section}.{metric} = {flag['latest']:.1f} is "
+        f"{100 * (1 - flag['ratio']):.0f}% below the trailing median "
+        f"{flag['trailing_median']:.1f} (window {flag['window']})"
+    )
+    print(f"[{message}]")
+    if os.environ.get("REPRO_ENFORCE_TREND") == "1":
+        raise AssertionError(message)
 
 
 def test_section52_speed_comparison(benchmark, scale):
@@ -41,6 +86,42 @@ def test_sampling_free_step(benchmark, scale):
     batch = L[rng.integers(0, len(L), size=64)]
 
     benchmark(model.partial_step, batch)
+
+
+def test_label_model_fit_compression(benchmark, scale):
+    """Refit-latency gate: pattern-compressed fitting flat in n."""
+    n_values = tuple(
+        sorted({max(500, BENCH_N // 16), max(1_000, BENCH_N // 4), BENCH_N})
+    )
+    result = benchmark.pedantic(
+        lambda: perf.run_fit_compression_eval(n_values=n_values),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    # Correctness binds at every size: the compressed fit is only a
+    # faster path if it is the same fit.
+    for row in result.rows:
+        assert row["max_posterior_diff"] <= FIT_EQUIVALENCE_TOLERANCE, row
+
+    largest = result.rows[-1]
+    payload = {"scale": scale, **largest}
+    perf.update_bench_json("label_model_fit", payload)
+    perf.append_bench_history("label_model_fit", payload)
+    _trend_gate(
+        "label_model_fit",
+        "speedup",
+        {"scale": scale, "examples": largest["examples"]},
+    )
+
+    # Speed floors bind at benchmark scale only; smoke runs (small
+    # REPRO_BENCH_N) still exercise the path and the equivalence gate.
+    if largest["examples"] >= 20_000:
+        assert largest["speedup"] >= FIT_SPEEDUP_FLOOR, largest
+        assert (
+            largest["compressed_step_growth"] <= FIT_STEP_GROWTH_CEILING
+        ), largest
 
 
 def test_gibbs_batch(benchmark, scale):

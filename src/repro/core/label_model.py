@@ -50,6 +50,21 @@ Gradients::
 The class prior ``pi_+`` is uniform by default ("For simplicity, here we
 assume that P(Y_i) is uniform, but we can also learn this distribution"),
 and can be learned through a logit parameter.
+
+Pattern-compressed fitting
+--------------------------
+Because the likelihood sees the data only through vote patterns, the
+``(n, m)`` matrix can be deduplicated into ``(patterns, multiplicities)``
+(:mod:`repro.core.patterns`) and the objective rewritten with exact
+multiplicity weights: a full-batch gradient step costs O(patterns × m)
+independent of ``n``. :meth:`SamplingFreeLabelModel.fit_compressed`
+implements that path; minibatch steps sample *expanded row indices* with
+the very RNG calls the full-matrix fit makes and map them to patterns,
+so on an exact compression the compressed fit reproduces the
+full-matrix fit bitwise whenever every step is a minibatch step (and to
+≤ 1e-9 posteriors when full-batch weighted steps are involved — the
+differential fuzz harness in ``tests/test_fit_equivalence.py`` gates
+both regimes).
 """
 
 from __future__ import annotations
@@ -59,6 +74,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.optim import AdamState, sgd_step, adam_step
+from repro.core.patterns import CompressedVotes, compress_votes
 
 __all__ = ["LabelModelConfig", "SamplingFreeLabelModel"]
 
@@ -93,6 +109,12 @@ class LabelModelConfig:
     we anchor accuracies at >= 50% by default. Set to ``None`` to allow
     adversarial LFs (e.g. for the LF-triage diagnostics on symmetric
     data)."""
+    compress: bool = False
+    """When True, :meth:`SamplingFreeLabelModel.fit` deduplicates the
+    vote matrix into ``(patterns, multiplicities)`` and trains on the
+    compressed form (:meth:`~SamplingFreeLabelModel.fit_compressed`):
+    full-batch steps cost O(patterns × m) instead of O(n × m), and
+    minibatch steps are bitwise-faithful to the uncompressed fit."""
 
 
 class SamplingFreeLabelModel:
@@ -114,29 +136,20 @@ class SamplingFreeLabelModel:
         """Estimate parameters from a label matrix ``L`` of shape (m, n).
 
         Only the votes are used; no ground truth enters the procedure.
+        With ``config.compress`` set, the matrix is deduplicated into
+        ``(patterns, multiplicities)`` first and training runs on the
+        compressed form (see :meth:`fit_compressed`).
         """
         L = _validate_label_matrix(L)
+        if self.config.compress:
+            return self.fit_compressed(compress_votes(L))
         m, n = L.shape
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
 
-        self.n_lfs = n
-        self.alpha = np.full(n, cfg.init_alpha, dtype=np.float64)
-        self.beta = np.full(n, cfg.init_beta, dtype=np.float64)
-        self.prior_logit = _logit(cfg.init_class_prior)
-        self.loss_history = []
+        self._init_fit(n, np.abs(L).sum(axis=0), float(m))
 
-        # Initialize beta from observed propensities: beta enters only
-        # through P(abstain), so matching empirical abstain rates starts
-        # the optimizer near the likelihood ridge. This mirrors standard
-        # practice and shortens the step budget; alpha still starts from
-        # a weakly-optimistic prior ("LFs are better than random").
-        observed_propensity = np.clip(np.abs(L).mean(axis=0), 1e-3, 1 - 1e-3)
-        self.beta = np.log(observed_propensity / (1 - observed_propensity)) / 2.0
-
-        adam_alpha = AdamState.like(self.alpha)
-        adam_beta = AdamState.like(self.beta)
-        adam_prior = AdamState.like(np.zeros(1))
+        optimizer = self._optimizer_state()
 
         for step in range(cfg.n_steps):
             if cfg.batch_size >= m:
@@ -144,39 +157,164 @@ class SamplingFreeLabelModel:
             else:
                 idx = rng.integers(0, m, size=cfg.batch_size)
                 batch = L[idx]
-            grad_alpha, grad_beta, grad_prior, loss = self._gradients(batch)
-            if cfg.l2 > 0.0:
-                grad_alpha = grad_alpha + cfg.l2 * self.alpha
-                grad_beta = grad_beta + cfg.l2 * self.beta
-                loss += 0.5 * cfg.l2 * (
-                    float(self.alpha @ self.alpha) + float(self.beta @ self.beta)
-                )
-
-            if cfg.optimizer == "adam":
-                self.alpha = adam_step(self.alpha, grad_alpha, adam_alpha, cfg.learning_rate)
-                self.beta = adam_step(self.beta, grad_beta, adam_beta, cfg.learning_rate)
-                if cfg.learn_class_prior:
-                    new = adam_step(
-                        np.array([self.prior_logit]),
-                        np.array([grad_prior]),
-                        adam_prior,
-                        cfg.learning_rate,
-                    )
-                    self.prior_logit = float(new[0])
-            elif cfg.optimizer == "sgd":
-                self.alpha = sgd_step(self.alpha, grad_alpha, cfg.learning_rate)
-                self.beta = sgd_step(self.beta, grad_beta, cfg.learning_rate)
-                if cfg.learn_class_prior:
-                    self.prior_logit -= cfg.learning_rate * grad_prior
-            else:
-                raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
-
-            if cfg.min_alpha is not None:
-                self.alpha = np.maximum(self.alpha, cfg.min_alpha)
-            self.steps_taken += 1
+            grads = self._gradients(batch)
+            loss = self._step_update(grads, optimizer)
             if cfg.track_loss_every and step % cfg.track_loss_every == 0:
                 self.loss_history.append((step, loss / len(batch)))
         return self
+
+    def fit_compressed(self, votes: CompressedVotes) -> "SamplingFreeLabelModel":
+        """Estimate parameters from a pattern-compressed vote matrix.
+
+        The multiplicity-weighted objective is *exact*: per-step results
+        match fitting the expanded matrix. Two regimes:
+
+        * **minibatch** (``batch_size < n_rows``): each step samples
+          patterns proportional to multiplicity. On an exact compression
+          (``row_ids`` present, or integer weights) the sampler draws
+          expanded row indices with the same RNG calls the full-matrix
+          fit makes, so sampled batches — and therefore the entire fit —
+          are bitwise identical to :meth:`fit` on the expanded matrix.
+          Real-valued weights (decay retention) sample via inverse-CDF
+          over the weight vector, leaving the sampled-gradient
+          distribution unchanged.
+        * **full-batch** (``batch_size >= n_rows``): exact
+          multiplicity-weighted gradients at O(patterns × m) per step,
+          independent of ``n_rows`` — agreeing with the full-matrix fit
+          to ≤ 1e-9 posteriors (summation order differs, so last-ulp
+          drift is possible but bounded; gated by the fuzz harness).
+
+        Args:
+            votes: The compressed matrix (see
+                :func:`repro.core.patterns.compress_votes`).
+
+        Returns:
+            ``self``, fitted.
+
+        Raises:
+            ValueError: If the patterns contain votes outside
+                ``{-1, 0, 1}``.
+        """
+        cfg = self.config
+        P = _validate_label_matrix(votes.patterns)
+        weights = votes.weights.astype(np.float64, copy=False)
+        absP = np.abs(P)
+        total = float(votes.n_rows)
+        rng = np.random.default_rng(cfg.seed)
+
+        # Weighted fire counts are exact integers whenever the weights
+        # are, so this reproduces np.abs(L).sum(axis=0) bit-for-bit on
+        # an exact compression.
+        self._init_fit(P.shape[1], (absP * weights[:, None]).sum(axis=0), total)
+
+        optimizer = self._optimizer_state()
+
+        # Exact-compression sampling surface: expanded row index -> row.
+        row_ids = votes.row_ids
+        n_expanded = len(row_ids) if row_ids is not None else (
+            int(total) if votes.integral else 0
+        )
+        pattern_ends = (
+            np.cumsum(weights) if row_ids is None else None
+        )
+
+        for step in range(cfg.n_steps):
+            if cfg.batch_size >= total:
+                grads = self._gradients_weighted(P, absP, weights, total)
+                loss = self._step_update(grads, optimizer)
+                denom = total
+            else:
+                if row_ids is not None:
+                    idx = rng.integers(0, n_expanded, size=cfg.batch_size)
+                    batch = P[row_ids[idx]]
+                elif votes.integral:
+                    idx = rng.integers(0, n_expanded, size=cfg.batch_size)
+                    batch = P[
+                        np.searchsorted(pattern_ends, idx, side="right")
+                    ]
+                else:
+                    draw = rng.random(cfg.batch_size) * total
+                    picked = np.searchsorted(pattern_ends, draw, side="right")
+                    batch = P[np.minimum(picked, len(P) - 1)]
+                grads = self._gradients(batch)
+                loss = self._step_update(grads, optimizer)
+                denom = len(batch)
+            if cfg.track_loss_every and step % cfg.track_loss_every == 0:
+                self.loss_history.append((step, loss / denom))
+        return self
+
+    def _init_fit(
+        self, n_lfs: int, fire_counts: np.ndarray, total: float
+    ) -> None:
+        """Reset parameters for a fresh fit.
+
+        Initialize beta from observed propensities: beta enters only
+        through P(abstain), so matching empirical abstain rates starts
+        the optimizer near the likelihood ridge. This mirrors standard
+        practice and shortens the step budget; alpha still starts from
+        a weakly-optimistic prior ("LFs are better than random").
+        """
+        cfg = self.config
+        self.n_lfs = n_lfs
+        self.alpha = np.full(n_lfs, cfg.init_alpha, dtype=np.float64)
+        self.prior_logit = _logit(cfg.init_class_prior)
+        self.loss_history = []
+        observed_propensity = np.clip(fire_counts / total, 1e-3, 1 - 1e-3)
+        self.beta = np.log(observed_propensity / (1 - observed_propensity)) / 2.0
+
+    def _optimizer_state(self) -> tuple[AdamState, AdamState, AdamState]:
+        """Fresh per-fit Adam accumulators (unused under SGD)."""
+        return (
+            AdamState.like(self.alpha),
+            AdamState.like(self.beta),
+            AdamState.like(np.zeros(1)),
+        )
+
+    def _step_update(
+        self,
+        grads: tuple[np.ndarray, np.ndarray, float, float],
+        optimizer: tuple[AdamState, AdamState, AdamState],
+    ) -> float:
+        """Apply one optimizer step from precomputed gradients.
+
+        Shared by the full-matrix and compressed fit loops so the two
+        paths cannot drift: l2, the optimizer update, the ``min_alpha``
+        projection, and the step counter are one code path. Returns the
+        (l2-adjusted) summed loss for tracking.
+        """
+        cfg = self.config
+        adam_alpha, adam_beta, adam_prior = optimizer
+        grad_alpha, grad_beta, grad_prior, loss = grads
+        if cfg.l2 > 0.0:
+            grad_alpha = grad_alpha + cfg.l2 * self.alpha
+            grad_beta = grad_beta + cfg.l2 * self.beta
+            loss += 0.5 * cfg.l2 * (
+                float(self.alpha @ self.alpha) + float(self.beta @ self.beta)
+            )
+
+        if cfg.optimizer == "adam":
+            self.alpha = adam_step(self.alpha, grad_alpha, adam_alpha, cfg.learning_rate)
+            self.beta = adam_step(self.beta, grad_beta, adam_beta, cfg.learning_rate)
+            if cfg.learn_class_prior:
+                new = adam_step(
+                    np.array([self.prior_logit]),
+                    np.array([grad_prior]),
+                    adam_prior,
+                    cfg.learning_rate,
+                )
+                self.prior_logit = float(new[0])
+        elif cfg.optimizer == "sgd":
+            self.alpha = sgd_step(self.alpha, grad_alpha, cfg.learning_rate)
+            self.beta = sgd_step(self.beta, grad_beta, cfg.learning_rate)
+            if cfg.learn_class_prior:
+                self.prior_logit -= cfg.learning_rate * grad_prior
+        else:
+            raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
+
+        if cfg.min_alpha is not None:
+            self.alpha = np.maximum(self.alpha, cfg.min_alpha)
+        self.steps_taken += 1
+        return loss
 
     def partial_step(self, batch: np.ndarray) -> float:
         """Take one gradient step on a caller-supplied minibatch.
@@ -278,6 +416,45 @@ class SamplingFreeLabelModel:
         # d(log prior terms)/d(prior_logit): E[Y]=2p-1 pushes the prior
         # toward the average posterior.
         grad_prior = -float(np.sum(posterior - _sigmoid(self.prior_logit)))
+        return grad_alpha, grad_beta, grad_prior, nll
+
+    def _gradients_weighted(
+        self,
+        P: np.ndarray,
+        absP: np.ndarray,
+        weights: np.ndarray,
+        total: float,
+    ) -> tuple[np.ndarray, np.ndarray, float, float]:
+        """Multiplicity-weighted gradients over distinct patterns.
+
+        Exactly the :meth:`_gradients` objective with each pattern row
+        counted ``weights[p]`` times — every per-row sum becomes a
+        weighted sum and the batch-size factor ``B`` becomes the total
+        row mass — at O(patterns × m) cost. ``grad_beta`` uses an
+        explicit column sum (not a BLAS dot) so that with unit weights
+        it reproduces ``absL.sum(axis=0)`` bit-for-bit.
+        """
+        alpha, beta = self.alpha, self.beta
+        a = P @ alpha                      # (k,)
+        b = absP @ beta                    # (k,)
+        p_correct, p_wrong, p_abstain, Z = self._z_components()
+        z_sum = float(Z.sum())
+
+        log_prior_pos = -np.logaddexp(0.0, -self.prior_logit)
+        log_prior_neg = -np.logaddexp(0.0, self.prior_logit)
+        lse = np.logaddexp(a + log_prior_pos, -a + log_prior_neg)
+        nll = -float(np.sum(weights * (b - z_sum + lse)))
+
+        posterior = _sigmoid(2.0 * a + self.prior_logit)
+        signed = 2.0 * posterior - 1.0
+
+        grad_alpha = -(P.T @ (weights * signed)) + total * (p_correct - p_wrong)
+        grad_beta = (
+            -(absP * weights[:, None]).sum(axis=0) + total * (1.0 - p_abstain)
+        )
+        grad_prior = -float(
+            np.sum(weights * (posterior - _sigmoid(self.prior_logit)))
+        )
         return grad_alpha, grad_beta, grad_prior, nll
 
     def _z_components(

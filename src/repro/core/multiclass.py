@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.optim import AdamState, adam_step
+from repro.core.patterns import CompressedVotes, compress_votes
 
 __all__ = ["MulticlassConfig", "MulticlassLabelModel"]
 
@@ -40,6 +41,10 @@ class MulticlassConfig:
     min_alpha: float | None = 0.0
     """Better-than-random accuracy anchor; see
     :class:`repro.core.label_model.LabelModelConfig.min_alpha`."""
+    compress: bool = False
+    """When True, :meth:`MulticlassLabelModel.fit` trains on the
+    deduplicated ``(patterns, multiplicities)`` form — same contract as
+    :attr:`repro.core.label_model.LabelModelConfig.compress`."""
 
 
 class MulticlassLabelModel:
@@ -59,15 +64,19 @@ class MulticlassLabelModel:
     # training
     # ------------------------------------------------------------------
     def fit(self, L: np.ndarray) -> "MulticlassLabelModel":
+        """Estimate parameters from a vote matrix ``L`` in ``{0..k}``.
+
+        With ``config.compress`` set, the matrix is deduplicated first
+        and training runs on the compressed form
+        (:meth:`fit_compressed`)."""
         L = self._validate(L)
+        if self.config.compress:
+            return self.fit_compressed(compress_votes(L))
         m, n = L.shape
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
 
-        self.alpha = np.full(n, cfg.init_alpha, dtype=np.float64)
-        observed_propensity = np.clip((L != 0).mean(axis=0), 1e-3, 1 - 1e-3)
-        self.beta = np.log(observed_propensity / (1 - observed_propensity)) / 2.0
-
+        self._init_fit(n, (L != 0).sum(axis=0), float(m))
         adam_alpha = AdamState.like(self.alpha)
         adam_beta = AdamState.like(self.beta)
 
@@ -77,11 +86,105 @@ class MulticlassLabelModel:
             else:
                 batch = L[rng.integers(0, m, size=cfg.batch_size)]
             grad_alpha, grad_beta = self._gradients(batch)
-            self.alpha = adam_step(self.alpha, grad_alpha, adam_alpha, cfg.learning_rate)
-            self.beta = adam_step(self.beta, grad_beta, adam_beta, cfg.learning_rate)
-            if cfg.min_alpha is not None:
-                self.alpha = np.maximum(self.alpha, cfg.min_alpha)
+            self._apply_step(grad_alpha, grad_beta, adam_alpha, adam_beta)
         return self
+
+    def fit_compressed(self, votes: CompressedVotes) -> "MulticlassLabelModel":
+        """Estimate parameters from a pattern-compressed vote matrix.
+
+        Same contract as
+        :meth:`repro.core.label_model.SamplingFreeLabelModel.fit_compressed`:
+        minibatch steps on an exact compression are bitwise-faithful to
+        :meth:`fit` on the expanded matrix; full-batch steps use exact
+        multiplicity-weighted gradients at O(patterns × m).
+
+        Args:
+            votes: The compressed matrix (see
+                :func:`repro.core.patterns.compress_votes`).
+
+        Returns:
+            ``self``, fitted.
+        """
+        cfg = self.config
+        P = self._validate(votes.patterns)
+        weights = votes.weights.astype(np.float64, copy=False)
+        total = float(votes.n_rows)
+        rng = np.random.default_rng(cfg.seed)
+
+        self._init_fit(
+            P.shape[1], ((P != 0) * weights[:, None]).sum(axis=0), total
+        )
+        adam_alpha = AdamState.like(self.alpha)
+        adam_beta = AdamState.like(self.beta)
+
+        row_ids = votes.row_ids
+        n_expanded = len(row_ids) if row_ids is not None else (
+            int(total) if votes.integral else 0
+        )
+        pattern_ends = np.cumsum(weights) if row_ids is None else None
+
+        for _ in range(cfg.n_steps):
+            if cfg.batch_size >= total:
+                grad_alpha, grad_beta = self._gradients_weighted(
+                    P, weights, total
+                )
+            else:
+                if row_ids is not None:
+                    idx = rng.integers(0, n_expanded, size=cfg.batch_size)
+                    batch = P[row_ids[idx]]
+                elif votes.integral:
+                    idx = rng.integers(0, n_expanded, size=cfg.batch_size)
+                    batch = P[np.searchsorted(pattern_ends, idx, side="right")]
+                else:
+                    draw = rng.random(cfg.batch_size) * total
+                    picked = np.searchsorted(pattern_ends, draw, side="right")
+                    batch = P[np.minimum(picked, len(P) - 1)]
+                grad_alpha, grad_beta = self._gradients(batch)
+            self._apply_step(grad_alpha, grad_beta, adam_alpha, adam_beta)
+        return self
+
+    def _init_fit(
+        self, n_lfs: int, fire_counts: np.ndarray, total: float
+    ) -> None:
+        """Reset alpha/beta for a fresh fit (propensity-matched beta)."""
+        cfg = self.config
+        self.alpha = np.full(n_lfs, cfg.init_alpha, dtype=np.float64)
+        observed_propensity = np.clip(fire_counts / total, 1e-3, 1 - 1e-3)
+        self.beta = np.log(observed_propensity / (1 - observed_propensity)) / 2.0
+
+    def _apply_step(
+        self,
+        grad_alpha: np.ndarray,
+        grad_beta: np.ndarray,
+        adam_alpha: AdamState,
+        adam_beta: AdamState,
+    ) -> None:
+        """One Adam update + min_alpha projection (shared by both fits)."""
+        cfg = self.config
+        self.alpha = adam_step(self.alpha, grad_alpha, adam_alpha, cfg.learning_rate)
+        self.beta = adam_step(self.beta, grad_beta, adam_beta, cfg.learning_rate)
+        if cfg.min_alpha is not None:
+            self.alpha = np.maximum(self.alpha, cfg.min_alpha)
+
+    def _gradients_weighted(
+        self, P: np.ndarray, weights: np.ndarray, total: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Multiplicity-weighted :meth:`_gradients` over distinct
+        patterns: per-row sums become weighted sums and the batch factor
+        ``B`` becomes the total row mass ``total``."""
+        posterior = self.predict_proba(P)
+        non_abstain = P != 0
+        vote_index = np.clip(P, 1, self.n_classes) - 1
+        q_match = _gather_rows(posterior, vote_index) * non_abstain
+
+        p_correct, p_wrong_total, p_abstain = self._outcome_probs()
+        grad_alpha = -(
+            (2.0 * q_match - 1.0) * non_abstain * weights[:, None]
+        ).sum(axis=0) + total * (p_correct - p_wrong_total)
+        grad_beta = -(non_abstain * weights[:, None]).sum(axis=0) + total * (
+            1.0 - p_abstain
+        )
+        return grad_alpha, grad_beta
 
     def _gradients(self, L: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         B, n = L.shape

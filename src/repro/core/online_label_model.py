@@ -27,8 +27,12 @@ Training interleaves two update kinds:
   sampled from the new batch — the model tracks a drifting stream at
   O(steps x batch) cost per micro-batch;
 * ``refit()`` (scheduled every ``refit_every`` batches, or called
-  manually at stream end) rebuilds the label matrix from the pattern log
-  and runs the *identical* offline ``fit``.
+  manually at stream end) re-runs the offline fit over the retained
+  stream. By default it trains *directly on the pattern log*
+  (:meth:`SamplingFreeLabelModel.fit_compressed` — O(patterns x m) per
+  step instead of O(n x m), bitwise identical in the minibatch regime);
+  set ``compressed_refit=False`` or ``REPRO_COMPRESSED_REFIT=0`` to
+  rebuild the expanded matrix and run the identical offline ``fit``.
 
 Retention modes
 ---------------
@@ -48,9 +52,11 @@ therefore run in one of three modes, selected by the config:
   the new batch in — an exponential recency window with half-life
   ``ln 2 / ln(1/decay)`` batches. Patterns whose weight sinks below
   ``pattern_weight_floor`` are evicted, so the log's footprint tracks
-  the *recent* pattern diversity, not all of history. Refits reconstruct
-  a recency-weighted matrix: each retained pattern repeated
-  ``round(weight)`` times.
+  the *recent* pattern diversity, not all of history. Refits see a
+  recency-weighted matrix: each retained pattern repeated
+  ``round(weight)`` times by default, or — with
+  ``decay_weighted_refit=True`` — weighted by its exact real-valued
+  decayed weight (no rounding; requires compressed refits).
 * **window** (``window_batches=N``): moments and the pattern log cover
   exactly the last ``N`` micro-batches (exact rolling sums — all
   integer-valued, so no drift). Patterns no longer referenced by the
@@ -60,12 +66,14 @@ therefore run in one of three modes, selected by the config:
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.core.patterns import CompressedVotes
 
 __all__ = ["OnlineLabelModelConfig", "OnlineLabelModel"]
 
@@ -99,6 +107,22 @@ class OnlineLabelModelConfig:
     """Decay mode only: patterns whose decayed weight falls below this
     floor are evicted from the log. Must be in (0, 1) so a pattern seen
     in the current batch (weight >= 1) is never evicted on arrival."""
+    compressed_refit: bool | None = None
+    """Whether :meth:`OnlineLabelModel.refit` trains directly on the
+    retained ``(patterns, multiplicities)`` log instead of expanding it
+    into a row matrix first. ``None`` (default) defers to the
+    ``REPRO_COMPRESSED_REFIT`` env knob (on unless set to ``"0"``).
+    Results are unchanged — minibatch refits are bitwise identical to
+    the expanded fit, and the tiny-stream full-batch regime falls back
+    to the expanded fit — only the per-step cost drops from O(n × m) to
+    O(patterns × m)."""
+    decay_weighted_refit: bool = False
+    """Decay mode only: when True, refits weight each retained pattern
+    by its *real-valued* decayed weight (exact recency semantics)
+    instead of the legacy ``round(weight)`` row repetition. Off by
+    default for bit-compatibility with existing decay-mode streams; the
+    weighted objective agrees with the rounded one to O(1/weight) in the
+    fitted parameters (regression-tested tolerance, not bitwise)."""
 
 
 class OnlineLabelModel:
@@ -140,6 +164,11 @@ class OnlineLabelModel:
             raise ValueError(
                 "pattern_weight_floor must be in (0, 1), got "
                 f"{cfg.pattern_weight_floor}"
+            )
+        if cfg.decay_weighted_refit and cfg.decay is None:
+            raise ValueError(
+                "decay_weighted_refit requires decay retention; set "
+                "decay to a value in (0, 1)"
             )
         self._model = SamplingFreeLabelModel(replace(cfg.base))
         self._rng = np.random.default_rng(cfg.seed)
@@ -210,12 +239,24 @@ class OnlineLabelModel:
     def refit(self) -> SamplingFreeLabelModel:
         """Full offline fit on the retained pattern log.
 
-        Reconstructs the label matrix from the pattern log and runs the
-        unmodified :meth:`SamplingFreeLabelModel.fit` with the ``base``
-        config. In cumulative mode the result is exactly what an offline
-        fit on the same stream prefix produces; in decay/window mode it
-        is the offline fit of the *recency-weighted* matrix (see
-        :meth:`reconstruct_matrix`).
+        Runs :meth:`SamplingFreeLabelModel.fit` semantics with the
+        ``base`` config over the retained stream. In cumulative mode the
+        result is exactly what an offline fit on the same stream prefix
+        produces; in decay/window mode it is the offline fit of the
+        *recency-weighted* matrix (see :meth:`reconstruct_matrix`).
+
+        When compressed refits are enabled (the default — see
+        :attr:`OnlineLabelModelConfig.compressed_refit`) the fit trains
+        directly on the pattern log via
+        :meth:`SamplingFreeLabelModel.fit_compressed`: per-step cost is
+        O(patterns × m) regardless of stream length, and minibatch-
+        regime results are bitwise identical to the expanded fit.
+        Streams small enough that every step would be a full-batch step
+        (``total rows <= base.batch_size``) fall back to the expanded
+        fit so tiny-stream refits also stay bitwise. With
+        ``decay_weighted_refit`` the decayed pattern weights enter the
+        objective as real-valued multiplicities instead of the legacy
+        ``round(weight)`` row repetition.
 
         Returns:
             The freshly fitted inner model (also exposed as
@@ -226,11 +267,79 @@ class OnlineLabelModel:
         """
         if self.n_observed == 0:
             raise RuntimeError("cannot refit before observing any votes")
-        L = self.reconstruct_matrix()
         self._model = SamplingFreeLabelModel(replace(self.config.base))
-        self._model.fit(L)
+        votes = (
+            self.compressed_votes() if self._compressed_refit_enabled() else None
+        )
+        if votes is not None and (
+            votes.n_rows > self.config.base.batch_size
+            or (self.mode == "decay" and self.config.decay_weighted_refit)
+        ):
+            self._model.fit_compressed(votes)
+        else:
+            self._model.fit(self.reconstruct_matrix())
         self.refits_done += 1
         return self._model
+
+    def _compressed_refit_enabled(self) -> bool:
+        """Resolve the compressed-refit switch (config, else env knob)."""
+        if self.config.compressed_refit is not None:
+            return self.config.compressed_refit
+        return os.environ.get("REPRO_COMPRESSED_REFIT", "1") != "0"
+
+    def compressed_votes(self) -> CompressedVotes:
+        """The retained stream as a pattern-compressed vote matrix.
+
+        The compressed counterpart of :meth:`reconstruct_matrix` — no
+        row expansion is materialized:
+
+        * cumulative / window mode: the retained patterns with their
+          reference counts as integer multiplicities and the stream-
+          order ``row_ids`` map, so the compression is *exact* (the
+          expanded matrix is recoverable bit-for-bit);
+        * decay mode, legacy semantics: each pattern's multiplicity is
+          ``round(weight)`` (half-up), matching the row-repeated matrix
+          :meth:`reconstruct_matrix` builds, in pattern-id order;
+          zero-multiplicity patterns are omitted;
+        * decay mode with ``decay_weighted_refit``: the real-valued
+          decayed weights themselves — exact recency semantics with no
+          rounding.
+
+        Returns:
+            The :class:`~repro.core.patterns.CompressedVotes` the next
+            compressed refit trains on.
+
+        Raises:
+            RuntimeError: If no votes have been observed yet.
+        """
+        if self.n_observed == 0:
+            raise RuntimeError("no votes observed yet")
+        patterns = np.vstack(self._pattern_rows)
+        if self.mode == "decay":
+            if self.config.decay_weighted_refit:
+                keep = self._pattern_weights > 0.0
+                return CompressedVotes(
+                    patterns=patterns[keep],
+                    weights=self._pattern_weights[keep].astype(np.float64),
+                    row_ids=None,
+                    n_rows=float(self._pattern_weights[keep].sum()),
+                )
+            reps = np.floor(self._pattern_weights + 0.5).astype(np.int64)
+            keep = reps > 0
+            return CompressedVotes(
+                patterns=patterns[keep],
+                weights=reps[keep].astype(np.float64),
+                row_ids=None,
+                n_rows=float(reps[keep].sum()),
+            )
+        ids = np.concatenate(self._row_ids).astype(np.int64)
+        weights = np.bincount(ids, minlength=len(patterns)).astype(np.float64)
+        return CompressedVotes(
+            patterns=patterns,
+            weights=weights,
+            row_ids=ids,
+            n_rows=float(len(ids)),
+        )
 
     # ------------------------------------------------------------------
     # internals

@@ -37,6 +37,7 @@ import numpy as np
 from repro.config import DEFAULT_SEED
 from repro.core.gibbs import GibbsConfig, GibbsLabelModel
 from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.core.patterns import compress_votes
 from repro.experiments.harness import (
     ExperimentResult,
     get_content_experiment,
@@ -50,6 +51,7 @@ __all__ = [
     "run_speed",
     "run_scale",
     "run_batch_throughput",
+    "run_fit_compression_eval",
     "measure_label_model_steps_per_second",
     "bench_json_path",
     "update_bench_json",
@@ -313,6 +315,107 @@ def run_scale(scale: str | None = None, seed: int = DEFAULT_SEED) -> ExperimentR
         }
     ]
     return ExperimentResult("perf_scale", "\n".join(lines), rows)
+
+
+def run_fit_compression_eval(
+    n_values: tuple[int, ...] = (2_000, 8_000, 30_720),
+    n_patterns: int = 200,
+    n_lfs: int = 12,
+    n_steps: int = 120,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    """Refit latency: full-matrix vs pattern-compressed fitting.
+
+    Draws every matrix from one fixed pool of ``n_patterns`` distinct
+    vote rows so the compressed problem size stays constant while ``n``
+    grows, then times a full-batch fit (``batch_size >= n``, so each
+    step touches every row) both ways and checks the compression
+    contract: posteriors agree to <= 1e-9 at every size. Per-step cost
+    on the full path grows linearly in ``n``; on the compressed path it
+    must stay flat — that flatness ratio, together with the speedup at
+    the largest ``n``, is what the ``label_model_fit`` bench row gates.
+
+    Raises:
+        AssertionError: If compressed-fit posteriors diverge from the
+            full-matrix fit beyond 1e-9 at any size.
+    """
+    rng = np.random.default_rng(seed)
+    pool = rng.choice(
+        np.array([-1, 0, 0, 1]), size=(n_patterns, n_lfs)
+    ).astype(np.int8)
+    base = LabelModelConfig(
+        n_steps=n_steps,
+        batch_size=max(n_values) + 1,
+        optimizer="sgd",
+        learning_rate=0.0005,
+        seed=seed,
+    )
+
+    rows = []
+    for n in n_values:
+        L = pool[rng.integers(0, n_patterns, size=n)]
+        full = SamplingFreeLabelModel(LabelModelConfig(**vars(base)))
+        start = time.perf_counter()
+        full.fit(L)
+        full_wall = time.perf_counter() - start
+
+        # The one-time dedup is O(n log n) and unavoidable; what must be
+        # flat in n is the *per-step* cost, so time the two separately.
+        start = time.perf_counter()
+        votes = compress_votes(L)
+        compress_wall = time.perf_counter() - start
+        compressed = SamplingFreeLabelModel(LabelModelConfig(**vars(base)))
+        start = time.perf_counter()
+        compressed.fit_compressed(votes)
+        compressed_wall = time.perf_counter() - start
+
+        diff = float(
+            np.max(np.abs(full.predict_proba(L) - compressed.predict_proba(L)))
+        )
+        if diff > 1e-9:
+            raise AssertionError(
+                f"compressed fit diverged from full fit at n={n}: "
+                f"max posterior diff {diff:.3e} > 1e-9"
+            )
+        rows.append(
+            {
+                "examples": n,
+                "patterns": n_patterns,
+                "lfs": n_lfs,
+                "steps": n_steps,
+                "full_step_ms": full_wall / n_steps * 1e3,
+                "compressed_step_ms": compressed_wall / n_steps * 1e3,
+                "compress_once_ms": compress_wall * 1e3,
+                "speedup": full_wall / max(compressed_wall, 1e-12),
+                "max_posterior_diff": diff,
+            }
+        )
+
+    flatness = rows[-1]["compressed_step_ms"] / max(
+        rows[0]["compressed_step_ms"], 1e-12
+    )
+    lines = [
+        "Pattern-compressed label model fitting: full-batch refit latency "
+        f"({n_patterns} patterns, {n_lfs} LFs, {n_steps} steps)",
+        "",
+        f"{'n':>8} {'full ms/step':>14} {'compressed ms/step':>20} "
+        f"{'dedup once ms':>14} {'speedup':>9} {'max |dP|':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['examples']:>8,} {row['full_step_ms']:>14.3f} "
+            f"{row['compressed_step_ms']:>20.3f} "
+            f"{row['compress_once_ms']:>14.2f} {row['speedup']:>8.1f}x "
+            f"{row['max_posterior_diff']:>10.1e}"
+        )
+    lines.append(
+        f"per-step growth {min(n_values):,} -> {max(n_values):,} rows: "
+        f"{rows[-1]['full_step_ms'] / max(rows[0]['full_step_ms'], 1e-12):.1f}x "
+        f"full vs {flatness:.2f}x compressed (flat = compression wins)"
+    )
+    for row in rows:
+        row["compressed_step_growth"] = flatness
+    return ExperimentResult("label_model_fit", "\n".join(lines), rows)
 
 
 def _clone_examples(examples) -> list[Example]:

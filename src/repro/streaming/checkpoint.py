@@ -47,6 +47,17 @@ uninterrupted run. The mechanism:
    the manifest's batch id, so shard names, batch boundaries, RNG
    draws, and gradient steps all line up with the run that never
    crashed.
+
+Refits scheduled by the stream (cadence or drift reaction) run through
+:meth:`OnlineLabelModel.refit`, which by default trains directly on the
+dictionary-encoded pattern log the manifest already snapshots
+(pattern-compressed fitting — O(patterns x m) per step). The recovery
+contract is unchanged: compressed refits are bitwise identical to the
+expanded fit in the minibatch regime, so killed-and-resumed streams
+still reproduce the uninterrupted run's shards and posteriors byte for
+byte, manifests written before the compressed path existed restore and
+refit identically, and ``REPRO_COMPRESSED_REFIT=0`` recovers the
+expanded-matrix behavior exactly.
 """
 
 from __future__ import annotations

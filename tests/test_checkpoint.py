@@ -10,6 +10,7 @@ resumes from the manifest to byte-identical shards and posteriors.
 
 import base64
 import json
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -778,5 +779,109 @@ class TestPreDriftManifestCompat:
         assert np.array_equal(resumed.online.reconstruct_matrix(), L)
         assert fresh.online.refit().predict_proba(L).tobytes() == (
             resumed.online.refit().predict_proba(L).tobytes()
+        )
+
+
+# ----------------------------------------------------------------------
+# pattern-compressed refits under the durability contracts
+# ----------------------------------------------------------------------
+class TestCompressedRefitCheckpointing:
+    """Compressed refits must not move a byte of the durable contract.
+
+    Streams here schedule refits *mid-run* (``refit_every=2``), so
+    refitted parameters feed the label shards of every later batch —
+    any compressed/expanded divergence would surface as shard bytes,
+    not just as a final-posterior gap.
+    """
+
+    BATCH = 64
+
+    def _runner(self, dfs, lfs, root, compressed):
+        config = replace(
+            ONLINE_CONFIG, compressed_refit=compressed, refit_every=2
+        )
+        return CheckpointedStream(
+            dfs,
+            lfs,
+            root,
+            batch_size=self.BATCH,
+            online_config=config,
+            checkpoint_every=2,
+        )
+
+    def test_kill_matrix_with_compressed_refits(self, corpus, lfs):
+        """Killed after ANY batch with compressed refits enabled, the
+        resumed stream converges to byte-identical shards/manifests —
+        and the whole durable tree matches the expanded-refit stream bit
+        for bit, because minibatch-regime compressed refits are bitwise.
+        """
+        from repro.dfs.filesystem import DistributedFileSystem
+
+        dfs = DistributedFileSystem()
+        shards = stage_examples(dfs, corpus, "/examples/e", num_shards=3)
+        legacy = self._runner(dfs, lfs, "/refit-legacy", compressed=False)
+        legacy.run(RecordStreamSource(dfs, shards))
+        baseline = self._runner(
+            dfs, lfs, "/refit-compressed", compressed=True
+        )
+        base_report = baseline.run(RecordStreamSource(dfs, shards))
+        assert baseline.online.refits_done > 0
+
+        reference = tree_bytes(dfs, "/refit-compressed")
+        assert tree_bytes(dfs, "/refit-legacy") == reference, (
+            "compressed refits moved durable bytes relative to the "
+            "expanded-matrix refit path"
+        )
+        L = baseline.online.reconstruct_matrix()
+        gap = np.max(
+            np.abs(
+                legacy.online.model.predict_proba(L)
+                - baseline.online.model.predict_proba(L)
+            )
+        )
+        assert gap <= 1e-9
+
+        for kill_after in range(base_report.batches_finalized - 1):
+            root = f"/refit-killed-{kill_after}"
+            with pytest.raises(SimulatedCrash):
+                self._runner(dfs, lfs, root, compressed=True).run(
+                    RecordStreamSource(dfs, shards),
+                    fail_after_batch=kill_after,
+                )
+            resumed = self._runner(dfs, lfs, root, compressed=True)
+            resumed.run(RecordStreamSource(dfs, shards))
+            assert tree_bytes(dfs, root) == reference, (
+                f"divergent bytes after kill at batch {kill_after} "
+                "with compressed refits enabled"
+            )
+
+    def test_pre_drift_manifest_refits_identically_compressed(self):
+        """A manifest written before the compressed path existed must
+        restore and refit to the same parameters under it: the pattern
+        log it carries is exactly what the compressed fit consumes."""
+        from repro.dfs.filesystem import DistributedFileSystem
+
+        with open(TestPreDriftManifestCompat.FIXTURE) as handle:
+            fixture = json.load(handle)
+        dfs = DistributedFileSystem()
+        for path, blob in fixture["files"].items():
+            dfs.write_file(path, base64.b64decode(blob))
+        checkpoint = CheckpointManager(dfs, fixture["root"]).latest()
+
+        def restored(compressed):
+            online = OnlineLabelModel(
+                replace(ONLINE_CONFIG, compressed_refit=compressed)
+            )
+            online.load_state(checkpoint.label_model_state)
+            return online
+
+        legacy, compressed = restored(False), restored(True)
+        legacy_model = legacy.refit()
+        compressed_model = compressed.refit()
+        L = legacy.reconstruct_matrix()
+        assert np.array_equal(legacy_model.alpha, compressed_model.alpha)
+        assert np.array_equal(legacy_model.beta, compressed_model.beta)
+        assert np.array_equal(
+            legacy_model.predict_proba(L), compressed_model.predict_proba(L)
         )
 

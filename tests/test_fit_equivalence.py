@@ -1,0 +1,356 @@
+"""Differential fuzz harness: pattern-compressed fit vs full-matrix fit.
+
+The gate for the compressed-fitting tentpole. Every case family draws a
+seeded randomized vote matrix, fits it both ways — the unmodified
+full-matrix path and the ``(patterns, multiplicities)`` path — and
+asserts the compression contract:
+
+* **minibatch regime** (``batch_size < n``): the compressed fit samples
+  expanded row indices with the same RNG calls the full fit makes, so
+  alpha, beta, posteriors, and the tracked loss curve must be **bitwise
+  identical**, for the binary and the multiclass model alike;
+* **full-batch regime** (``batch_size >= n``): the compressed fit uses
+  exact multiplicity-weighted gradients, which reorder summation — the
+  posteriors must agree to <= 1e-9 (empirically ~1e-15);
+* a :class:`CompressedVotes` built from aggregated integer weights
+  (no ``row_ids``) must fit bitwise identically to the full fit of its
+  pattern-order expansion — the decay compat path.
+
+Families: dense uniform votes, abstain-heavy, duplicate-heavy (few
+distinct patterns), single-pattern degenerate, matrices with all-abstain
+rows, and multiclass votes — across several (n, m) shapes and seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.label_model import LabelModelConfig, SamplingFreeLabelModel
+from repro.core.multiclass import MulticlassConfig, MulticlassLabelModel
+from repro.core.online_label_model import (
+    OnlineLabelModel,
+    OnlineLabelModelConfig,
+)
+from repro.core.patterns import CompressedVotes, compress_votes
+
+
+# ----------------------------------------------------------------------
+# case families (binary): seeded generators over {-1, 0, 1}
+# ----------------------------------------------------------------------
+def uniform(rng, n, m):
+    return rng.choice(np.array([-1, 0, 1], dtype=np.int8), size=(n, m))
+
+
+def abstain_heavy(rng, n, m):
+    votes = rng.choice(
+        np.array([-1, 0, 1], dtype=np.int8), size=(n, m), p=[0.08, 0.85, 0.07]
+    )
+    return votes
+
+
+def duplicate_heavy(rng, n, m):
+    pool = rng.choice(np.array([-1, 0, 0, 1], dtype=np.int8), size=(12, m))
+    return pool[rng.integers(0, len(pool), size=n)]
+
+
+def single_pattern(rng, n, m):
+    row = rng.choice(np.array([-1, 0, 1], dtype=np.int8), size=(1, m))
+    return np.repeat(row, n, axis=0)
+
+
+def with_all_abstain_rows(rng, n, m):
+    votes = uniform(rng, n, m)
+    votes[rng.random(n) < 0.3] = 0
+    return votes
+
+
+FAMILIES = [
+    uniform,
+    abstain_heavy,
+    duplicate_heavy,
+    single_pattern,
+    with_all_abstain_rows,
+]
+
+SHAPES = [(400, 5), (1_500, 12)]
+
+
+def fit_both(L, **config):
+    """Fit ``L`` with and without compression under one binary config."""
+    full = SamplingFreeLabelModel(LabelModelConfig(**config)).fit(L)
+    compressed = SamplingFreeLabelModel(
+        LabelModelConfig(compress=True, **config)
+    ).fit(L)
+    return full, compressed
+
+
+def assert_bitwise(full, compressed, L):
+    assert np.array_equal(full.alpha, compressed.alpha)
+    assert np.array_equal(full.beta, compressed.beta)
+    assert full.prior_logit == compressed.prior_logit
+    assert full.loss_history == compressed.loss_history
+    assert np.array_equal(
+        full.predict_proba(L), compressed.predict_proba(L)
+    )
+
+
+# ----------------------------------------------------------------------
+# binary model
+# ----------------------------------------------------------------------
+class TestBinaryEquivalence:
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("shape", SHAPES, ids=lambda s: f"n{s[0]}m{s[1]}")
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_minibatch_fit_is_bitwise(self, family, shape, seed):
+        """batch_size < n: every family, shape, and seed to the bit."""
+        n, m = shape
+        L = family(np.random.default_rng(seed), n, m)
+        full, compressed = fit_both(
+            L, n_steps=250, batch_size=64, seed=seed, optimizer="sgd"
+        )
+        assert_bitwise(full, compressed, L)
+
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_full_batch_fit_within_1e9(self, family, seed):
+        """batch_size >= n: weighted gradients, <= 1e-9 posteriors."""
+        L = family(np.random.default_rng(seed), 500, 8)
+        full, compressed = fit_both(
+            L,
+            n_steps=250,
+            batch_size=10_000,
+            seed=seed,
+            optimizer="sgd",
+            learning_rate=0.0005,
+        )
+        gap = np.max(
+            np.abs(full.predict_proba(L) - compressed.predict_proba(L))
+        )
+        assert gap <= 1e-9, gap
+        assert np.max(np.abs(full.alpha - compressed.alpha)) <= 1e-9
+
+    def test_adam_prior_and_l2_stay_bitwise_in_minibatch(self):
+        """The optimizer/prior/l2 machinery is shared, not duplicated."""
+        L = duplicate_heavy(np.random.default_rng(3), 1_000, 10)
+        full, compressed = fit_both(
+            L,
+            n_steps=250,
+            batch_size=64,
+            seed=3,
+            optimizer="adam",
+            learn_class_prior=True,
+            l2=1e-4,
+        )
+        assert_bitwise(full, compressed, L)
+
+    def test_all_abstain_matrix(self):
+        """The fully degenerate stream: one all-zero pattern."""
+        L = np.zeros((200, 6), dtype=np.int8)
+        full, compressed = fit_both(L, n_steps=60, batch_size=64, seed=0)
+        assert_bitwise(full, compressed, L)
+
+    def test_aggregated_weights_match_pattern_order_expansion(self):
+        """Integer weights without row_ids (the decay compat shape) fit
+        bitwise identically to the full fit of the pattern-order
+        expansion — the searchsorted sampler reproduces np.repeat's row
+        order index for index."""
+        L = duplicate_heavy(np.random.default_rng(5), 900, 9)
+        exact = compress_votes(L)
+        aggregated = CompressedVotes(
+            patterns=exact.patterns,
+            weights=exact.weights,
+            row_ids=None,
+            n_rows=exact.n_rows,
+        )
+        config = LabelModelConfig(n_steps=250, batch_size=64, seed=5)
+        full = SamplingFreeLabelModel(config).fit(aggregated.expand())
+        compressed = SamplingFreeLabelModel(config)
+        compressed.fit_compressed(aggregated)
+        assert_bitwise(full, compressed, L)
+
+    def test_real_valued_weights_fit_converges(self):
+        """Decay-weighted compressions (no expanded matrix exists):
+        inverse-CDF sampling must produce a finite, sane fit whose
+        accuracies track the integer-weighted fit's."""
+        L = duplicate_heavy(np.random.default_rng(9), 1_200, 8)
+        exact = compress_votes(L)
+        rng = np.random.default_rng(1)
+        weights = exact.weights * rng.uniform(0.5, 1.0, exact.n_patterns)
+        weighted = CompressedVotes(
+            patterns=exact.patterns,
+            weights=weights,
+            row_ids=None,
+            n_rows=float(weights.sum()),
+        )
+        config = LabelModelConfig(n_steps=400, batch_size=64, seed=2)
+        reference = SamplingFreeLabelModel(config).fit(L)
+        model = SamplingFreeLabelModel(config)
+        model.fit_compressed(weighted)
+        assert np.all(np.isfinite(model.alpha))
+        assert np.all(np.isfinite(model.beta))
+        assert np.max(np.abs(model.accuracies() - reference.accuracies())) < 0.2
+
+
+# ----------------------------------------------------------------------
+# multiclass model
+# ----------------------------------------------------------------------
+def multiclass_votes(rng, n, m, k, abstain=0.5):
+    probs = [abstain] + [(1 - abstain) / k] * k
+    return rng.choice(np.arange(k + 1), size=(n, m), p=probs)
+
+
+class TestMulticlassEquivalence:
+    @pytest.mark.parametrize("k", [3, 5])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_minibatch_fit_is_bitwise(self, k, seed):
+        rng = np.random.default_rng(seed)
+        L = multiclass_votes(rng, 1_100, 9, k)
+        config = dict(n_steps=250, batch_size=64, seed=seed)
+        full = MulticlassLabelModel(k, MulticlassConfig(**config)).fit(L)
+        compressed = MulticlassLabelModel(
+            k, MulticlassConfig(compress=True, **config)
+        ).fit(L)
+        assert np.array_equal(full.alpha, compressed.alpha)
+        assert np.array_equal(full.beta, compressed.beta)
+        assert np.array_equal(
+            full.predict_proba(L), compressed.predict_proba(L)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_full_batch_fit_within_1e9(self, seed):
+        rng = np.random.default_rng(seed)
+        L = multiclass_votes(rng, 400, 7, 4, abstain=0.7)
+        config = dict(n_steps=200, batch_size=10_000, seed=seed)
+        full = MulticlassLabelModel(4, MulticlassConfig(**config)).fit(L)
+        compressed = MulticlassLabelModel(
+            4, MulticlassConfig(compress=True, **config)
+        ).fit(L)
+        gap = np.max(
+            np.abs(full.predict_proba(L) - compressed.predict_proba(L))
+        )
+        assert gap <= 1e-9, gap
+
+    def test_duplicate_heavy_multiclass_compresses_hard(self):
+        """A 6-pattern multiclass stream: k patterns ≪ n rows, bitwise."""
+        rng = np.random.default_rng(2)
+        pool = multiclass_votes(rng, 6, 8, 3)
+        L = pool[rng.integers(0, len(pool), size=2_000)]
+        assert compress_votes(L).n_patterns <= 6
+        config = dict(n_steps=250, batch_size=64, seed=2)
+        full = MulticlassLabelModel(3, MulticlassConfig(**config)).fit(L)
+        compressed = MulticlassLabelModel(
+            3, MulticlassConfig(compress=True, **config)
+        ).fit(L)
+        assert np.array_equal(full.alpha, compressed.alpha)
+        assert np.array_equal(
+            full.predict_proba(L), compressed.predict_proba(L)
+        )
+
+
+# ----------------------------------------------------------------------
+# the compression carrier itself
+# ----------------------------------------------------------------------
+class TestCompressVotes:
+    def test_round_trip_reconstructs_bit_for_bit(self):
+        L = duplicate_heavy(np.random.default_rng(4), 700, 6)
+        votes = compress_votes(L)
+        assert np.array_equal(votes.patterns[votes.row_ids], L)
+        assert np.array_equal(votes.expand(), L)
+        assert votes.weights.sum() == len(L)
+        assert votes.integral
+        assert votes.n_patterns == len(np.unique(L, axis=0))
+
+    def test_zero_row_matrix(self):
+        votes = compress_votes(np.zeros((0, 5), dtype=np.int8))
+        assert votes.n_patterns == 0
+        assert votes.n_rows == 0.0
+        assert votes.expand().shape == (0, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            compress_votes(np.zeros(4))
+        with pytest.raises(ValueError, match="weights shape"):
+            CompressedVotes(
+                patterns=np.zeros((2, 3)),
+                weights=np.ones(3),
+                row_ids=None,
+                n_rows=3.0,
+            )
+        with pytest.raises(ValueError, match="strictly positive"):
+            CompressedVotes(
+                patterns=np.zeros((2, 3)),
+                weights=np.array([1.0, 0.0]),
+                row_ids=None,
+                n_rows=1.0,
+            )
+        with pytest.raises(ValueError, match="row_ids"):
+            CompressedVotes(
+                patterns=np.zeros((1, 3)),
+                weights=np.array([2.0]),
+                row_ids=np.zeros(3, dtype=np.int64),
+                n_rows=2.0,
+            )
+
+    def test_expand_refuses_real_valued_weights(self):
+        votes = CompressedVotes(
+            patterns=np.zeros((1, 3)),
+            weights=np.array([1.5]),
+            row_ids=None,
+            n_rows=1.5,
+        )
+        assert not votes.integral
+        with pytest.raises(ValueError, match="real-valued"):
+            votes.expand()
+
+
+# ----------------------------------------------------------------------
+# the refit switch
+# ----------------------------------------------------------------------
+class TestCompressedRefitKnob:
+    def _observed(self, **kwargs):
+        model = OnlineLabelModel(
+            OnlineLabelModelConfig(
+                base=LabelModelConfig(n_steps=100, seed=0),
+                steps_per_batch=0,
+                **kwargs,
+            )
+        )
+        model.observe(duplicate_heavy(np.random.default_rng(0), 300, 5))
+        return model
+
+    def test_env_knob_controls_default(self, monkeypatch):
+        model = self._observed()
+        monkeypatch.delenv("REPRO_COMPRESSED_REFIT", raising=False)
+        assert model._compressed_refit_enabled()
+        monkeypatch.setenv("REPRO_COMPRESSED_REFIT", "0")
+        assert not model._compressed_refit_enabled()
+        monkeypatch.setenv("REPRO_COMPRESSED_REFIT", "1")
+        assert model._compressed_refit_enabled()
+
+    def test_config_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPRESSED_REFIT", "0")
+        assert self._observed(
+            compressed_refit=True
+        )._compressed_refit_enabled()
+        monkeypatch.delenv("REPRO_COMPRESSED_REFIT", raising=False)
+        assert not self._observed(
+            compressed_refit=False
+        )._compressed_refit_enabled()
+
+    def test_refit_matches_either_way(self):
+        """The knob changes cost, never posteriors: both settings refit
+        a cumulative stream to bitwise-identical parameters."""
+        on = self._observed(compressed_refit=True)
+        off = self._observed(compressed_refit=False)
+        on_model, off_model = on.refit(), off.refit()
+        L = on.reconstruct_matrix()
+        assert np.array_equal(on_model.alpha, off_model.alpha)
+        assert np.array_equal(
+            on_model.predict_proba(L), off_model.predict_proba(L)
+        )
+
+    def test_compressed_votes_matches_reconstruction(self):
+        model = self._observed()
+        votes = model.compressed_votes()
+        assert np.array_equal(votes.expand(), model.reconstruct_matrix())
+        assert votes.integral
+        assert votes.n_rows == model.n_observed
